@@ -1,0 +1,1 @@
+"""Benchmark package (one bench per experiment + kernels)."""

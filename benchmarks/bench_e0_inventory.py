@@ -1,0 +1,13 @@
+"""E0 — the workload inventory table (provenance for every experiment)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e0_inventory(benchmark, scale):
+    table = run_experiment_once(benchmark, "e0", scale)
+    assert len(table.rows) >= 10
+    # The generator certificates hold wherever exact λ was computed.
+    checked = [r for r in table.rows if "certificate_ok" in r]
+    assert checked, "no instance small enough for exact arboricity"
+    assert all(r["certificate_ok"] for r in checked)
+    assert all(r.get("sandwich_ok", True) for r in checked)

@@ -1,0 +1,17 @@
+"""E10 — ablations: threshold width, estimator form, phase length."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e10_ablations(benchmark, scale):
+    table = run_experiment_once(benchmark, "e10", scale)
+    thr = [r for r in table.rows if r["ablation"] == "threshold_k"]
+    # Theorem 16: every constant threshold in [1/4, 4] stays within its
+    # predicted bound.
+    assert all(r["ratio"] <= r["predicted_bound"] + 1e-9 for r in thr)
+    # Phase-length ablation present with the spread column increasing.
+    phase = [r for r in table.rows if r["ablation"] == "phase_length_B"]
+    spreads = [r["spread_bound"] for r in phase]
+    assert spreads == sorted(spreads)
+    est = {r["setting"] for r in table.rows if r["ablation"] == "estimator"}
+    assert est == {"stratified", "pooled"}

@@ -1,0 +1,15 @@
+"""E11 — level-set dynamics: the densest part saturates first (Remark 1)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e11_levelset_dynamics(benchmark, scale):
+    table = run_experiment_once(benchmark, "e11", scale)
+    rows = table.rows
+    # The dense core is saturated from the very first round…
+    assert rows[0]["core_mean_util"] >= 1.0
+    # …while the fringe starts unsaturated and climbs monotonically-ish.
+    assert rows[0]["fringe_mean_util"] < 1.0
+    assert rows[-1]["fringe_mean_util"] > rows[0]["fringe_mean_util"]
+    # Mass spreads: the match weight improves over the trace.
+    assert rows[-1]["match_weight"] > rows[0]["match_weight"]

@@ -1,0 +1,14 @@
+"""E12 — extension study: two-sided b-matching dynamics (§1.2.1's open
+question territory; no paper guarantee asserted)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e12_bmatching_extension(benchmark, scale):
+    table = run_experiment_once(benchmark, "e12", scale)
+    # The generalized dynamics should stay within a small constant of
+    # optimal on these families and never collapse below greedy quality
+    # by more than a modest margin.
+    assert all(r["frac_ratio_worst"] <= 3.0 for r in table.rows)
+    b_values = table.column("b_max")
+    assert b_values == sorted(b_values)

@@ -1,0 +1,25 @@
+"""E1 — certificate rounds vs arboricity (Theorem 2/9).
+
+Regenerates the "rounds grow like log λ, within the paper budget"
+table and asserts the claim's shape: every row within budget, and on
+the stress family a log-law fit beating the linear one.
+"""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e1_rounds_vs_lambda(benchmark, scale):
+    table = run_experiment_once(benchmark, "e1", scale)
+    assert all(ok for ok in table.column("within_budget") if ok is not None)
+    stress = [
+        (row["lambda_bound"], row["rounds"])
+        for row in table.rows
+        if row.get("family") == "slow_spread"
+    ]
+    assert len(stress) >= 2
+    # Rounds must increase with λ on the stress family (the log-λ shape).
+    lams = [s[0] for s in stress]
+    rounds = [s[1] for s in stress]
+    assert rounds[-1] > rounds[0]
+    # Sub-linear: λ grew much faster than the rounds did.
+    assert (rounds[-1] / rounds[0]) < (lams[-1] / lams[0])

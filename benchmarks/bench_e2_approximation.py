@@ -1,0 +1,13 @@
+"""E2 — the (2+10ε) guarantee across families and ε (Theorem 9)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e2_approximation(benchmark, scale):
+    table = run_experiment_once(benchmark, "e2", scale)
+    # The certified bound must hold on every row.
+    assert all(table.column("ok"))
+    # And the proportional output should beat plain greedy on average.
+    ratios = table.column("ratio")
+    greedy = table.column("greedy_ratio")
+    assert sum(ratios) / len(ratios) <= sum(greedy) / len(greedy) + 0.25

@@ -1,0 +1,17 @@
+"""E3 — rounds flat in n at fixed λ; AZM18 budget grows (the headline
+separation of the paper)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e3_n_independence(benchmark, scale):
+    table = run_experiment_once(benchmark, "e3", scale)
+    ours = table.column("ours_rounds")
+    azm18 = table.column("azm18_budget")
+    # Flat in n: largest-n round count within +2 of the smallest-n one.
+    assert max(ours) - min(ours) <= 2
+    # The baseline's budget strictly grows with n.
+    assert azm18 == sorted(azm18)
+    assert azm18[-1] > azm18[0]
+    # Who wins: ours beats the baseline budget at every n.
+    assert all(o < a for o, a in zip(ours, azm18))

@@ -1,0 +1,17 @@
+"""E4 — sampling concentration vs budget (Lemma 11/12)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e4_sampling_concentration(benchmark, scale):
+    table = run_experiment_once(benchmark, "e4", scale)
+    rows = table.rows
+    # Error shrinks as the budget grows (compare first vs last finite row).
+    finite = [r for r in rows if not r["theoretical"]]
+    assert finite[0]["alloc_err_q99"] >= finite[-1]["alloc_err_q99"]
+    # At the theoretical budget the estimates are exact.
+    theoretical = [r for r in rows if r["theoretical"]]
+    assert theoretical, "theoretical-budget row missing"
+    assert theoretical[0]["beta_err_q99"] == 0
+    assert theoretical[0]["alloc_err_q99"] == 0
+    assert theoretical[0]["beta_beyond_eps12"] == 0

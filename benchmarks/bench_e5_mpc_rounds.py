@@ -1,0 +1,17 @@
+"""E5 — MPC rounds and space vs arboricity (Theorem 3/10)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e5_mpc_rounds(benchmark, scale):
+    table = run_experiment_once(benchmark, "e5", scale)
+    sim = [r for r in table.rows if r["mode"] == "simulate"]
+    # Who wins: measured MPC rounds beat the AZM18 bill at every λ.
+    assert all(r["mpc_rounds"] < r["azm18_rounds"] for r in sim)
+    # The driver can stop early via the certificate, never late.
+    assert all(r["mpc_rounds"] <= r["model_predicted"] for r in sim)
+    # Faithful row: space budget respected.
+    faithful = [r for r in table.rows if r["mode"] == "faithful"]
+    assert faithful
+    assert faithful[0]["space_violations"] == 0
+    assert faithful[0]["peak_machine_words"] <= faithful[0]["machine_budget_words"]

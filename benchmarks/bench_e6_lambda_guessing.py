@@ -1,0 +1,20 @@
+"""E6 — λ-guessing costs only a constant factor (§3.2.2)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e6_lambda_guessing(benchmark, scale):
+    table = run_experiment_once(benchmark, "e6", scale)
+    for row in table.rows:
+        # The §3.2.2 claim: λ-oblivious schedules stay within the
+        # worst-case constant of the known-λ budget.  (Eager per-phase
+        # testing trades 2 test rounds per phase against earlier
+        # stopping, so neither cadence dominates the other — both must
+        # simply respect the bound.)
+        cap = row["model_worstcase_overhead"] * row["known_budget_rounds"]
+        assert row["guessed_rounds"] <= cap
+        assert row["guessed_eager_rounds"] <= cap
+        # Certificate-stopped known-λ is never slower than its budget.
+        assert row["known_cert_rounds"] <= row["known_budget_rounds"]
+    # The measured overhead stays bounded across the λ sweep.
+    assert max(table.column("overhead_vs_budget")) <= 6.0

@@ -1,0 +1,15 @@
+"""E7 — §6 rounding: the E[|M|] ≥ wt/9 bound, best-of, and repair."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e7_rounding(benchmark, scale):
+    table = run_experiment_once(benchmark, "e7", scale)
+    # The §6 expectation bound holds (within Monte-Carlo error) per family.
+    assert all(table.column("bound_holds"))
+    for row in table.rows:
+        # Best-of-copies beats the one-shot mean; repair only grows it.
+        assert row["best_of_copies"] >= row["mean_one_shot"] - 1e-9
+        assert row["repaired"] >= row["best_of_copies"]
+        # Repaired allocations are maximal ⇒ at worst a 2-approximation.
+        assert row["repaired_ratio"] <= 2.0 + 1e-9

@@ -1,0 +1,14 @@
+"""E8 — boosting (2+ε) → (1+ε) via the layered framework (App. B)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e8_boosting(benchmark, scale):
+    table = run_experiment_once(benchmark, "e8", scale)
+    # The deterministic reference always certifies the 1+1/k target.
+    assert all(table.column("det_within_target"))
+    for row in table.rows:
+        # Boosting never hurts, and the randomized framework lands within
+        # a whisker of the deterministic reference.
+        assert row["layered_ratio"] <= row["start_ratio"] + 1e-9
+        assert row["layered_ratio"] <= row["det_ratio"] + 0.30

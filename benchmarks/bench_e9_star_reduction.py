@@ -1,0 +1,16 @@
+"""E9 — the splitting reduction's arboricity blow-up on stars (§1.1)."""
+
+from benchmarks.conftest import run_experiment_once
+
+
+def test_e9_star_reduction(benchmark, scale):
+    table = run_experiment_once(benchmark, "e9", scale)
+    rows = table.rows
+    # Split arboricity grows linearly with n (Θ(n) blow-up)…
+    assert rows[-1]["split_lambda"] >= rows[-1]["n_leaves"] / 4
+    assert rows[-1]["split_lambda"] > rows[0]["split_lambda"]
+    # …while the direct algorithm keeps the λ=1 certificate and budget.
+    assert all(r["direct_lambda"] == 1 for r in rows)
+    budgets = {r["direct_budget"] for r in rows}
+    assert len(budgets) == 1  # n-independent
+    assert all(r["direct_rounds"] <= r["direct_budget"] for r in rows)

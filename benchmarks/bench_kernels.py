@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are classical pytest-benchmark timings (many iterations) of the
+inner loops the experiments spend their time in — useful for tracking
+performance regressions of the library itself, orthogonal to the
+scientific tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.baselines.exact import solve_exact
+from repro.core.proportional import ProportionalRun
+from repro.core.sampled import SampledRun
+from repro.graphs.arboricity import core_numbers
+from repro.graphs.generators import union_of_forests
+from repro.rounding.sampling import round_once
+from repro.core.local_driver import solve_fractional_fixed_tau
+
+_N = {"smoke": 200, "normal": 2000, "full": 20000}[bench_scale()]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return union_of_forests(_N, _N, 4, capacity=2, seed=0)
+
+
+def test_kernel_proportional_round(benchmark, instance):
+    """One vectorized Algorithm-1 round (the O(m) inner loop)."""
+    run = ProportionalRun(instance.graph, instance.capacities, 0.1)
+    run.step()
+    benchmark(run.step)
+    assert run.rounds_completed > 1
+
+
+def test_kernel_sampled_phase(benchmark, instance):
+    """One Algorithm-2 phase (grouping + sampling + B rounds)."""
+    run = SampledRun(
+        instance.graph, instance.capacities, 0.25, block=3, sample_budget=16,
+        sampler="fast", seed=0, record_estimates=False,
+    )
+    benchmark.pedantic(run.run_phase, rounds=3, iterations=1)
+    assert run.phases_completed >= 3
+
+
+def test_kernel_degeneracy(benchmark, instance):
+    ea, eb = instance.graph.undirected_edges()
+    n = instance.graph.n_vertices
+    result = benchmark(lambda: int(core_numbers(n, ea, eb).max()))
+    assert result >= 1
+
+
+def test_kernel_exact_optimum(benchmark, instance):
+    """The Dinic OPT oracle on the benchmark instance."""
+    result = benchmark.pedantic(
+        lambda: solve_exact(instance.graph, instance.capacities).value,
+        rounds=1,
+        iterations=1,
+    )
+    assert result > 0
+
+
+def test_kernel_rounding(benchmark, instance):
+    frac = solve_fractional_fixed_tau(instance, 0.25).allocation
+    out = benchmark(
+        lambda: round_once(instance.graph, instance.capacities, frac, seed=1).size
+    )
+    assert out >= 0

@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Every experiment bench runs its experiment exactly once under
+``pytest-benchmark`` (the experiments are deterministic given a seed;
+wall-clock is reported but the scientific payload is the table, which
+is persisted to ``benchmarks/results/`` and echoed to stdout — run
+with ``-s`` to see it live).
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``normal`` /
+``full`` (default ``normal``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "normal")
+    if scale not in ("smoke", "normal", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/normal/full, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_experiment_once(benchmark, exp_id: str, scale: str):
+    """Run one experiment exactly once under the benchmark timer."""
+    from repro.experiments.harness import run_and_save
+
+    return benchmark.pedantic(
+        lambda: run_and_save(exp_id, scale=scale, echo=True),
+        rounds=1,
+        iterations=1,
+    )

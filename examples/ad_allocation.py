@@ -1,0 +1,77 @@
+"""Online-ads allocation: impressions to budget-capped advertisers.
+
+The allocation problem's flagship application (§1): impressions (L)
+must be assigned to advertisers (R) holding integer budgets C_v.  This
+example runs the paper's full pipeline —
+
+    MPC algorithm (Theorem 3, λ unknown)  →  §6 rounding  →
+    Appendix-B boosting to (1+ε)
+
+— on a skewed power-law campaign and reports marketplace metrics:
+impression fill rate, budget utilization, and the MPC round bill
+against the prior art's O(log n).
+
+Run:  python examples/ad_allocation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import integral_stats
+from repro.baselines.exact import optimum_value
+from repro.boosting.boost import boost_allocation
+from repro.core import params
+from repro.core.mpc_driver import solve_allocation_mpc
+from repro.graphs.generators import adwords_instance
+from repro.rounding.repair import greedy_fill
+from repro.rounding.sampling import round_best_of
+
+
+def main() -> None:
+    instance = adwords_instance(
+        n_impressions=2000, n_advertisers=150, mean_degree=4,
+        budget_exponent=2.0, seed=7,
+    )
+    g = instance.graph
+    print(f"campaign: {instance.name}")
+    print(f"  impressions={g.n_left}  advertisers={g.n_right}  "
+          f"eligible pairs={g.n_edges}")
+    print(f"  total advertiser budget={int(instance.capacities.sum())}")
+
+    # --- Stage 1: the paper's MPC algorithm, arboricity unknown. -----
+    epsilon = 0.2
+    mpc = solve_allocation_mpc(instance, epsilon, seed=1)
+    azm18_bill = params.tau_azm18(g.n_right, epsilon)
+    print("\n[MPC] fractional allocation")
+    print(f"  MPC rounds           : {mpc.mpc_rounds}  (prior art bill: {azm18_bill})")
+    print(f"  λ guess that sufficed: {mpc.meta['used_guess']}")
+    print(f"  fractional weight    : {mpc.match_weight:.1f}")
+
+    # --- Stage 2: §6 rounding + repair. -------------------------------
+    rounded = round_best_of(g, instance.capacities, mpc.allocation, seed=2)
+    repaired = greedy_fill(g, instance.capacities, rounded.edge_mask, seed=2)
+    print("\n[rounding] integral allocation")
+    print(f"  rounded={rounded.size}  repaired={int(repaired.sum())}")
+
+    # --- Stage 3: boost to (1+ε) via layered augmentation. ------------
+    boosted = boost_allocation(instance, repaired, epsilon=0.34, seed=3)
+    print("\n[boosting] (1+ε) refinement")
+    print(f"  size {boosted.initial_size} → {boosted.final_size} "
+          f"({boosted.augmentations} augmentations over "
+          f"{boosted.iterations_used} iterations)")
+
+    # --- Marketplace report. ------------------------------------------
+    opt = optimum_value(instance)
+    stats = integral_stats(g, instance.capacities, boosted.edge_mask)
+    print("\n[report]")
+    print(f"  optimal assignable impressions : {opt}")
+    print(f"  delivered impressions          : {stats.size} "
+          f"({opt / max(1, stats.size):.3f}x from optimal)")
+    print(f"  impression fill rate           : {stats.left_utilization:.1%}")
+    print(f"  budget utilization             : {stats.right_utilization:.1%}")
+    print(f"  advertisers at full budget     : {stats.saturated_right}/{g.n_right}")
+
+
+if __name__ == "__main__":
+    main()

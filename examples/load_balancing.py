@@ -1,0 +1,69 @@
+"""Server-client load balancing with locality constraints.
+
+The other motivating application (§1, via [ALPZ21]): clients (L) may
+only be served by a few nearby servers (R), each with a capacity.
+Locality keeps the bipartite graph uniformly sparse — every client
+touches `locality` consecutive servers on a ring — so the paper's
+λ-parameterized rounds apply with λ ≤ locality, independent of the
+fleet size.
+
+This example contrasts the proportional-allocation pipeline with plain
+greedy assignment on the metric operators care about: how many clients
+get served, and how evenly the servers are loaded.
+
+Run:  python examples/load_balancing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.exact import optimum_value
+from repro.baselines.greedy import greedy_allocation
+from repro.core.local_driver import solve_fractional_until_certificate
+from repro.graphs.generators import load_balancing_instance
+from repro.rounding.repair import greedy_fill
+from repro.rounding.sampling import round_best_of
+
+
+def server_loads(graph, mask) -> np.ndarray:
+    return np.bincount(graph.edge_v[np.asarray(mask, bool)], minlength=graph.n_right)
+
+
+def main() -> None:
+    instance = load_balancing_instance(
+        n_clients=3000, n_servers=120, locality=3, seed=11
+    )
+    g = instance.graph
+    caps = instance.capacities
+    print(f"fleet: {instance.name}")
+    print(f"  clients={g.n_left} servers={g.n_right} "
+          f"server capacity={int(caps[0])} (balanced load)")
+    print(f"  arboricity ≤ locality = {instance.arboricity_upper_bound} "
+          f"— rounds depend on this, not on fleet size")
+
+    # Paper pipeline: fractional (λ-oblivious) → round → repair.
+    eps = 0.1
+    frac = solve_fractional_until_certificate(instance, eps)
+    rounded = round_best_of(g, caps, frac.allocation, seed=0)
+    ours = greedy_fill(g, caps, rounded.edge_mask, seed=0)
+
+    # Baseline: first-come-first-served greedy.
+    baseline = greedy_allocation(g, caps, order="random", seed=0)
+
+    opt = optimum_value(instance)
+    for name, mask in (("proportional+rounding", ours), ("greedy FCFS", baseline)):
+        loads = server_loads(g, mask)
+        served = int(np.asarray(mask, bool).sum())
+        print(f"\n[{name}]")
+        print(f"  clients served   : {served} / {opt} optimal "
+              f"({served / opt:.1%})")
+        print(f"  max server load  : {int(loads.max())} (capacity {int(caps[0])})")
+        print(f"  load std-dev     : {loads.std():.2f}")
+        print(f"  idle servers     : {int((loads == 0).sum())}")
+    print(f"\nLOCAL rounds used by the fractional stage: {frac.rounds} "
+          f"(certificate-stopped, λ never supplied)")
+
+
+if __name__ == "__main__":
+    main()

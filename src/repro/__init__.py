@@ -1,0 +1,33 @@
+"""repro — reproduction of "Faster MPC Algorithms for Approximate
+Allocation in Uniformly Sparse Graphs" (SPAA 2025, arXiv:2506.04524).
+
+Subpackages
+-----------
+``repro.graphs``
+    Bipartite graph substrate, workload generators, arboricity tools.
+``repro.local``
+    LOCAL model simulator (synchronous message passing).
+``repro.mpc``
+    MPC model simulator: machines, space accounting, primitives,
+    graph exponentiation, round cost model.
+``repro.core``
+    The paper's algorithms: proportional allocation (Algorithm 1),
+    adaptive thresholds (Algorithm 3), sampled phases (Algorithm 2),
+    LOCAL and MPC drivers, termination certificates.
+``repro.rounding``
+    §6 randomized rounding from fractional to integral allocations.
+``repro.boosting``
+    Appendix B: (1+ε) boosting via the GGM22 layered-graph framework.
+``repro.baselines``
+    Exact OPT (Dinic max-flow), greedy, auction, AZM18-in-MPC.
+``repro.analysis``
+    Metrics, theoretical predictions, concentration diagnostics.
+``repro.experiments``
+    The theorem-driven experiment suite (E1-E11) and its harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.graphs import AllocationInstance, BipartiteGraph, build_graph
+
+__all__ = ["AllocationInstance", "BipartiteGraph", "build_graph", "__version__"]

@@ -1,0 +1,43 @@
+"""Measurement, theory-shape fitting, and concentration diagnostics."""
+
+from repro.analysis.metrics import (
+    approximation_ratio,
+    IntegralStats,
+    integral_stats,
+    FractionalStats,
+    fractional_stats,
+    utilization,
+    plateau_round,
+)
+from repro.analysis.theory import (
+    LinearFit,
+    linear_fit,
+    fit_against_log,
+    growth_exponent,
+    shape_verdict,
+    GROWTH_LAWS,
+)
+from repro.analysis.concentration import (
+    ErrorQuantiles,
+    collect_error_quantiles,
+    lemma12_violation_rates,
+)
+
+__all__ = [
+    "approximation_ratio",
+    "IntegralStats",
+    "integral_stats",
+    "FractionalStats",
+    "fractional_stats",
+    "utilization",
+    "plateau_round",
+    "LinearFit",
+    "linear_fit",
+    "fit_against_log",
+    "growth_exponent",
+    "shape_verdict",
+    "GROWTH_LAWS",
+    "ErrorQuantiles",
+    "collect_error_quantiles",
+    "lemma12_violation_rates",
+]

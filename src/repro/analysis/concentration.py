@@ -1,0 +1,86 @@
+"""Empirical validation of the sampling lemmas (Lemma 11 / Lemma 12).
+
+Lemma 12 asserts that with the theoretical sample budget the estimates
+satisfy ``|β̂_u − β_u| ≤ (ε/12)·β_u`` and ``|alloc-hat − alloc| ≤
+(ε/4)·alloc`` with probability ≥ 1 − n⁻⁵.  E4 measures how the error
+distribution behaves as the budget sweeps *below* the theoretical
+value — the empirical counterpart of Lemma 11's trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampled import PhaseReport, SampledRun
+
+__all__ = ["ErrorQuantiles", "collect_error_quantiles", "lemma12_violation_rates"]
+
+
+@dataclass(frozen=True)
+class ErrorQuantiles:
+    """Relative-error distribution over all (vertex, round) pairs."""
+
+    median: float
+    q90: float
+    q99: float
+    maximum: float
+    n_samples: int
+
+    @staticmethod
+    def from_errors(errors: np.ndarray) -> "ErrorQuantiles":
+        if errors.size == 0:
+            return ErrorQuantiles(0.0, 0.0, 0.0, 0.0, 0)
+        return ErrorQuantiles(
+            median=float(np.quantile(errors, 0.5)),
+            q90=float(np.quantile(errors, 0.9)),
+            q99=float(np.quantile(errors, 0.99)),
+            maximum=float(errors.max()),
+            n_samples=int(errors.size),
+        )
+
+
+def collect_error_quantiles(
+    reports: list[PhaseReport],
+) -> tuple[ErrorQuantiles, ErrorQuantiles]:
+    """``(β̂ errors, alloc-hat errors)`` pooled over all rounds.
+
+    Only vertices with a positive true value enter (relative error is
+    undefined otherwise — matching Lemma 11's multiplicative form).
+    """
+    beta_errs: list[np.ndarray] = []
+    alloc_errs: list[np.ndarray] = []
+    for report in reports:
+        for rnd in report.rounds:
+            be = rnd.beta_relative_errors()
+            beta_errs.append(be[rnd.beta_true > 0])
+            ae = rnd.alloc_relative_errors()
+            alloc_errs.append(ae[rnd.alloc_true > 0])
+    beta = np.concatenate(beta_errs) if beta_errs else np.empty(0)
+    alloc = np.concatenate(alloc_errs) if alloc_errs else np.empty(0)
+    return ErrorQuantiles.from_errors(beta), ErrorQuantiles.from_errors(alloc)
+
+
+def lemma12_violation_rates(
+    run: SampledRun,
+) -> tuple[float, float]:
+    """Fraction of (vertex, round) pairs violating Lemma 12's bounds:
+    β̂ beyond ε/12 and alloc-hat beyond ε/4 relative error."""
+    eps = run.epsilon
+    beta_viol = 0
+    beta_tot = 0
+    alloc_viol = 0
+    alloc_tot = 0
+    for report in run.phase_reports:
+        for rnd in report.rounds:
+            be = rnd.beta_relative_errors()[rnd.beta_true > 0]
+            beta_viol += int((be > eps / 12.0).sum())
+            beta_tot += int(be.size)
+            ae = rnd.alloc_relative_errors()[rnd.alloc_true > 0]
+            alloc_viol += int((ae > eps / 4.0).sum())
+            alloc_tot += int(ae.size)
+    return (
+        beta_viol / beta_tot if beta_tot else 0.0,
+        alloc_viol / alloc_tot if alloc_tot else 0.0,
+    )

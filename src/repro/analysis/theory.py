@@ -1,0 +1,100 @@
+"""Shape-fitting against the paper's predictions.
+
+The reproduction brief asks for *shape* agreement, not absolute
+numbers: rounds growing like ``log λ`` and flat in ``n`` (Theorems 2/9),
+MPC rounds like ``√log λ · log log λ`` (Theorem 3), guessing overhead
+constant (§3.2.2).  These helpers fit measured series against candidate
+growth laws and report goodness-of-fit, so EXPERIMENTS.md's verdicts
+are computed, not eyeballed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LinearFit",
+    "linear_fit",
+    "growth_exponent",
+    "fit_against_log",
+    "shape_verdict",
+    "GROWTH_LAWS",
+]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares ``y ≈ slope·x + intercept`` with R²."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
+        raise ValueError("linear_fit needs two equally-sized 1-D series (n >= 2)")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    pred = slope * xs + intercept
+    ss_res = float(((ys - pred) ** 2).sum())
+    ss_tot = float(((ys - ys.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r2)
+
+
+def fit_against_log(values: Sequence[float], measurements: Sequence[float]) -> LinearFit:
+    """Fit ``measurement ≈ a·log₂(value) + b`` — the T9 shape test."""
+    logs = [math.log2(max(2.0, float(v))) for v in values]
+    return linear_fit(logs, measurements)
+
+
+def growth_exponent(x: Sequence[float], y: Sequence[float]) -> float:
+    """Log-log slope: ≈0 means flat, ≈1 linear, ≈0.5 square-root."""
+    lx = [math.log(max(1e-12, float(v))) for v in x]
+    ly = [math.log(max(1e-12, float(v))) for v in y]
+    return linear_fit(lx, ly).slope
+
+
+GROWTH_LAWS: dict[str, Callable[[float], float]] = {
+    "constant": lambda v: 1.0,
+    "loglog": lambda v: math.log2(max(2.0, math.log2(max(2.0, v)))),
+    "sqrt_log": lambda v: math.sqrt(math.log2(max(2.0, v))),
+    "sqrt_log_loglog": lambda v: math.sqrt(math.log2(max(2.0, v)))
+    * math.log2(max(2.0, math.log2(max(2.0, v)))),
+    "log": lambda v: math.log2(max(2.0, v)),
+    "linear": lambda v: v,
+}
+
+
+def shape_verdict(
+    values: Sequence[float], measurements: Sequence[float]
+) -> dict[str, float]:
+    """R² of each candidate growth law (through-origin scaling fit).
+
+    For each law g, fit ``y ≈ c·g(v)`` and report R²; the best-scoring
+    law is the measured shape.  Experiments print this dict so the
+    reader sees *how decisively* e.g. ``log`` beats ``linear``.
+    """
+    vs = np.asarray(values, dtype=np.float64)
+    ys = np.asarray(measurements, dtype=np.float64)
+    if vs.shape != ys.shape or vs.size < 2:
+        raise ValueError("shape_verdict needs two equally-sized series (n >= 2)")
+    out: dict[str, float] = {}
+    ss_tot = float(((ys - ys.mean()) ** 2).sum())
+    for name, law in GROWTH_LAWS.items():
+        gx = np.asarray([law(float(v)) for v in vs])
+        denom = float((gx * gx).sum())
+        c = float((gx * ys).sum()) / denom if denom > 0 else 0.0
+        pred = c * gx
+        ss_res = float(((ys - pred) ** 2).sum())
+        out[name] = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return out

@@ -1,0 +1,10 @@
+"""Application layers built on the allocation solvers (the paper's §1
+motivations as runnable code)."""
+
+from repro.applications.makespan import (
+    MakespanResult,
+    max_serviceable,
+    minimize_makespan,
+)
+
+__all__ = ["MakespanResult", "max_serviceable", "minimize_makespan"]

@@ -1,0 +1,43 @@
+"""Comparators: exact OPT oracle, greedy, auction, and the prior
+state-of-the-art MPC baseline (AZM18 run for O(log n) rounds).
+
+The Dinic/exact/greedy trio sits *below* :mod:`repro.core` in the
+dependency order (the arboricity machinery reuses Dinic), while the
+AZM18 and auction baselines sit *above* it (they drive the core
+solvers).  The latter are therefore exported lazily (PEP 562) so that
+importing the low-level oracles from low-level code cannot create an
+import cycle.
+"""
+
+from repro.baselines.dinic import DinicSolver
+from repro.baselines.exact import ExactSolution, solve_exact, optimum_value
+from repro.baselines.greedy import greedy_allocation, is_maximal_allocation
+
+__all__ = [
+    "DinicSolver",
+    "ExactSolution",
+    "solve_exact",
+    "optimum_value",
+    "greedy_allocation",
+    "is_maximal_allocation",
+    "AZM18Result",
+    "solve_azm18_mpc",
+    "AuctionResult",
+    "auction_allocation",
+]
+
+_LAZY = {
+    "AZM18Result": "repro.baselines.azm18",
+    "solve_azm18_mpc": "repro.baselines.azm18",
+    "AuctionResult": "repro.baselines.auction",
+    "auction_allocation": "repro.baselines.auction",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,27 @@
+"""Bipartite b-matching: the general problem allocation specializes.
+
+Contents: instance type + allocation embeddings, exact flow solver,
+greedy baseline, and an *experimental* two-sided generalization of the
+proportional dynamics (the §1.2.1 open-question playground).
+"""
+
+from repro.bmatching.problem import BMatchingInstance, from_allocation, to_allocation
+from repro.bmatching.exact import (
+    BMatchingSolution,
+    solve_exact_bmatching,
+    optimum_bmatching_value,
+)
+from repro.bmatching.greedy import greedy_bmatching
+from repro.bmatching.proportional import BMatchingFractional, proportional_bmatching
+
+__all__ = [
+    "BMatchingInstance",
+    "from_allocation",
+    "to_allocation",
+    "BMatchingSolution",
+    "solve_exact_bmatching",
+    "optimum_bmatching_value",
+    "greedy_bmatching",
+    "BMatchingFractional",
+    "proportional_bmatching",
+]

@@ -1,0 +1,53 @@
+"""Exact bipartite b-matching via the flow reduction.
+
+Identical shape to the allocation oracle, with the source arcs carrying
+``b_left[u]`` instead of 1.  Flow integrality again makes the value
+equal to both the integral maximum and the fractional LP optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.dinic import DinicSolver
+from repro.bmatching.problem import BMatchingInstance
+
+__all__ = ["BMatchingSolution", "solve_exact_bmatching", "optimum_bmatching_value"]
+
+
+@dataclass(frozen=True)
+class BMatchingSolution:
+    value: int
+    edge_mask: np.ndarray
+
+
+def solve_exact_bmatching(instance: BMatchingInstance) -> BMatchingSolution:
+    """Maximum b-matching by Dinic on the capacitated network."""
+    g = instance.graph
+    n_nodes = 2 + g.n_left + g.n_right
+    source = 0
+    sink = n_nodes - 1
+    solver = DinicSolver(n_nodes)
+    for u in range(g.n_left):
+        solver.add_edge(source, 1 + u, int(instance.b_left[u]))
+    edge_arcs = np.empty(g.n_edges, dtype=np.int64)
+    for e in range(g.n_edges):
+        edge_arcs[e] = solver.add_edge(
+            1 + int(g.edge_u[e]), 1 + g.n_left + int(g.edge_v[e]), 1
+        )
+    for v in range(g.n_right):
+        solver.add_edge(1 + g.n_left + v, sink, int(instance.b_right[v]))
+    value = solver.max_flow(source, sink)
+    mask = np.zeros(g.n_edges, dtype=bool)
+    for e in range(g.n_edges):
+        if solver.flow_on(int(edge_arcs[e])) > 0:
+            mask[e] = True
+    assert int(mask.sum()) == value
+    assert instance.check_feasible(mask)
+    return BMatchingSolution(value=value, edge_mask=mask)
+
+
+def optimum_bmatching_value(instance: BMatchingInstance) -> int:
+    return solve_exact_bmatching(instance).value

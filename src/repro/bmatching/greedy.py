@@ -1,0 +1,40 @@
+"""Greedy maximal b-matching (the ½-approximation baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bmatching.problem import BMatchingInstance
+from repro.utils.rng import as_generator
+
+__all__ = ["greedy_bmatching"]
+
+
+def greedy_bmatching(
+    instance: BMatchingInstance, *, order: str = "random", seed=None
+) -> np.ndarray:
+    """Scan edges, taking each one with residual capacity on both ends.
+
+    The output is maximal, hence a ½-approximation (every optimal edge
+    shares an endpoint with a chosen edge that consumed capacity the
+    optimal edge would have needed).
+    """
+    g = instance.graph
+    m = g.n_edges
+    if order == "canonical":
+        perm = np.arange(m, dtype=np.int64)
+    elif order == "random":
+        perm = as_generator(seed).permutation(m).astype(np.int64)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    left_residual = instance.b_left.copy()
+    right_residual = instance.b_right.copy()
+    mask = np.zeros(m, dtype=bool)
+    eu, ev = g.edge_u, g.edge_v
+    for e in perm.tolist():
+        u, v = eu[e], ev[e]
+        if left_residual[u] > 0 and right_residual[v] > 0:
+            mask[e] = True
+            left_residual[u] -= 1
+            right_residual[v] -= 1
+    return mask

@@ -1,0 +1,96 @@
+"""Bipartite b-matching instances (Definition 21, bipartite case).
+
+The b-matching problem attaches a capacity to *every* vertex; the
+allocation problem is the special case ``b ≡ 1`` on the left side.
+§1.2.1 poses the open question of ``o(log n)``-round constant-approx
+b-matching in sublinear MPC and calls this paper's allocation result
+"the first step towards answering that question" — this subpackage is
+the corresponding executable playground: exact solver, greedy
+baseline, and an experimental generalization of the proportional
+dynamics (see :mod:`repro.bmatching.proportional`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.instances import AllocationInstance
+from repro.utils.validation import check_integer_array
+
+__all__ = ["BMatchingInstance", "from_allocation", "to_allocation"]
+
+
+@dataclass(frozen=True)
+class BMatchingInstance:
+    """A bipartite b-matching instance: capacities on both sides.
+
+    A feasible b-matching is an edge multiset-free subset with every
+    left vertex ``u`` incident to ≤ ``b_left[u]`` chosen edges and
+    every right vertex ``v`` to ≤ ``b_right[v]``.
+    """
+
+    graph: BipartiteGraph
+    b_left: np.ndarray
+    b_right: np.ndarray
+    name: str = "bmatching"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        bl = check_integer_array(self.b_left, "b_left")
+        br = check_integer_array(self.b_right, "b_right")
+        if bl.shape != (self.graph.n_left,):
+            raise ValueError(f"b_left must have shape ({self.graph.n_left},)")
+        if br.shape != (self.graph.n_right,):
+            raise ValueError(f"b_right must have shape ({self.graph.n_right},)")
+        if (bl.size and bl.min() < 1) or (br.size and br.min() < 1):
+            raise ValueError("b-values must be >= 1 everywhere")
+        object.__setattr__(self, "b_left", bl)
+        object.__setattr__(self, "b_right", br)
+        bl.setflags(write=False)
+        br.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    def check_feasible(self, edge_mask: np.ndarray) -> bool:
+        """Is ``edge_mask`` a b-matching?"""
+        mask = np.asarray(edge_mask, dtype=bool)
+        if mask.shape != (self.graph.n_edges,):
+            raise ValueError("edge mask shape mismatch")
+        left_used = np.bincount(self.graph.edge_u[mask], minlength=self.graph.n_left)
+        right_used = np.bincount(self.graph.edge_v[mask], minlength=self.graph.n_right)
+        return bool(np.all(left_used <= self.b_left) and np.all(right_used <= self.b_right))
+
+    def total_left_capacity(self) -> int:
+        return int(self.b_left.sum())
+
+    def total_right_capacity(self) -> int:
+        return int(self.b_right.sum())
+
+
+def from_allocation(instance: AllocationInstance) -> BMatchingInstance:
+    """Embed an allocation instance (``b ≡ 1`` on L)."""
+    return BMatchingInstance(
+        graph=instance.graph,
+        b_left=np.ones(instance.graph.n_left, dtype=np.int64),
+        b_right=instance.capacities,
+        name=f"bmatch({instance.name})",
+        metadata=dict(instance.metadata),
+    )
+
+
+def to_allocation(instance: BMatchingInstance) -> AllocationInstance:
+    """Project back to allocation; requires ``b_left ≡ 1``."""
+    if instance.b_left.size and instance.b_left.max() > 1:
+        raise ValueError(
+            "not an allocation instance: some left vertex has b > 1 "
+            "(use the splitting reduction or solve as b-matching)"
+        )
+    return AllocationInstance(
+        graph=instance.graph,
+        capacities=instance.b_right,
+        name=instance.name,
+        metadata=dict(instance.metadata),
+    )

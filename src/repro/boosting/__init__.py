@@ -1,0 +1,27 @@
+"""Appendix B: boosting a constant approximation to (1+ε)."""
+
+from repro.boosting.augment import (
+    AugmentingPath,
+    find_augmenting_path,
+    apply_augmenting_path,
+    eliminate_short_augmenting_paths,
+)
+from repro.boosting.layered import (
+    LayeredGraph,
+    build_layered_graph,
+    find_layered_augmenting_paths,
+)
+from repro.boosting.boost import BoostResult, boost_allocation, k_for_epsilon
+
+__all__ = [
+    "AugmentingPath",
+    "find_augmenting_path",
+    "apply_augmenting_path",
+    "eliminate_short_augmenting_paths",
+    "LayeredGraph",
+    "build_layered_graph",
+    "find_layered_augmenting_paths",
+    "BoostResult",
+    "boost_allocation",
+    "k_for_epsilon",
+]

@@ -1,0 +1,289 @@
+"""The GGM22 layered-graph framework, specialized to allocation (App. B).
+
+One boosting iteration:
+
+1. **Copies** (Step 1): every right vertex ``v`` notionally splits into
+   ``C_v`` copies — ``deg_M(v)`` matched copies (one per matched edge)
+   and ``C_v − deg_M(v)`` free copies.  Left vertices have one copy
+   (``b ≡ 1`` on L).
+2. **Free placement** (Step 2, App. B modification): free left copies
+   go to layer 0, free right copies to layer ``k+1`` — deterministic
+   for allocation, unlike the general b-matching framework.
+3. **Matched arcs** (Step 3): each matched edge is assigned a uniform
+   layer ``ℓ ∈ {1..k}``, oriented R→L; its right copy is the layer's
+   tail, its left endpoint the layer's head.
+4. **Unmatched slots** (Step 4): each unmatched edge ``{u,v}`` draws a
+   uniform slot ``i ∈ {0..k}`` and survives only if ``u`` is a head of
+   layer ``i`` (or free with ``i = 0``) and ``v`` has a tail copy in
+   layer ``i+1`` (or free capacity when ``i = k``).
+5. **Contraction** (Step 5): copies of ``v`` in a layer's tail set act
+   as one node of capacity = #copies.
+
+Augmenting paths of the original instance survive this construction
+with probability ``1/exp(O(2^k))`` [GGM22]; the framework then finds a
+set of vertex-disjoint layered augmenting paths by running an
+allocation matcher between consecutive layers — here either greedy or
+the paper's own proportional algorithm (``layer_matcher``), which is
+the self-hosting App. B describes (each layer-pair instance is a
+subgraph of G, so its arboricity is at most λ).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.boosting.augment import AugmentingPath, matched_partner_structure
+from repro.graphs.bipartite import BipartiteGraph, build_graph
+from repro.graphs.capacities import validate_capacities
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["LayeredGraph", "build_layered_graph", "find_layered_augmenting_paths"]
+
+
+@dataclass
+class LayeredGraph:
+    """One sampled layered structure.
+
+    ``head_layer_of_left[u]`` — the layer whose head set contains
+    ``u``'s single copy: 0 if ``u`` is free, ``ℓ ∈ {1..k}`` if its
+    matched edge drew layer ℓ, −1 if ``u`` is isolated from the
+    structure.  ``matched_arc_of_left[u]`` — the matched edge id
+    providing that copy (−1 for free).  ``slot_edges[i]`` — unmatched
+    edge ids that drew slot ``i`` and survived Step 4.
+    ``tail_arcs[ℓ][v]`` — matched edge ids of ``v`` assigned to layer
+    ℓ (the copies of ``v`` in ``T_ℓ``); ``free_capacity[v]`` — copies
+    of ``v`` in ``T_{k+1}``.
+    """
+
+    k: int
+    head_layer_of_left: np.ndarray
+    matched_arc_of_left: np.ndarray
+    slot_edges: list[np.ndarray]
+    tail_arcs: list[dict[int, list[int]]]
+    free_capacity: np.ndarray
+
+
+def build_layered_graph(
+    graph: BipartiteGraph,
+    capacities: np.ndarray,
+    edge_mask: np.ndarray,
+    k: int,
+    *,
+    seed=None,
+) -> LayeredGraph:
+    """Steps 1–4 for one boosting iteration.
+
+    The layer count ``k`` targets augmenting paths with *exactly* ``k``
+    matched edges (length ``2k+1``): the path's matched edges must land
+    in layers 1..k in order and its last unmatched edge must reach the
+    free copies in layer ``k+1``.  ``k = 0`` is the degenerate single-
+    slot structure that catches length-1 paths (free→free edges); the
+    boosting driver cycles ``k`` over all target lengths.
+    """
+    k = check_nonnegative_int(k, "k")
+    caps = validate_capacities(graph, capacities)
+    edge_mask = np.asarray(edge_mask, dtype=bool)
+    rng = as_generator(seed)
+
+    left_match, right_load = matched_partner_structure(graph, edge_mask)
+    free_capacity = caps - right_load
+    if np.any(free_capacity < 0):
+        raise ValueError("edge_mask is not a feasible allocation")
+
+    # Step 3: layer each matched edge uniformly in {1..k}.  With k = 0
+    # there are no matched layers: matched edges (and their left
+    # endpoints) sit outside the structure this iteration.
+    matched_ids = np.nonzero(edge_mask)[0]
+    if k == 0:
+        matched_layers = np.zeros(matched_ids.size, dtype=np.int64)
+    else:
+        matched_layers = rng.integers(1, k + 1, size=matched_ids.size)
+    head_layer_of_left = np.full(graph.n_left, -1, dtype=np.int64)
+    matched_arc_of_left = np.full(graph.n_left, -1, dtype=np.int64)
+    tail_arcs: list[dict[int, list[int]]] = [defaultdict(list) for _ in range(k + 2)]
+    for eid, layer in zip(matched_ids.tolist(), matched_layers.tolist()):
+        if layer == 0:
+            continue
+        u = int(graph.edge_u[eid])
+        v = int(graph.edge_v[eid])
+        head_layer_of_left[u] = layer
+        matched_arc_of_left[u] = eid
+        tail_arcs[layer][v].append(eid)
+    # Step 2 (allocation form): free left copies live in layer 0.
+    free_left = left_match == -1
+    head_layer_of_left[free_left] = 0
+
+    # Step 4: slot each unmatched edge; keep it only when both required
+    # copies exist.
+    unmatched_ids = np.nonzero(~edge_mask)[0]
+    slots = rng.integers(0, k + 1, size=unmatched_ids.size)
+    slot_edges: list[list[int]] = [[] for _ in range(k + 1)]
+    for eid, slot in zip(unmatched_ids.tolist(), slots.tolist()):
+        u = int(graph.edge_u[eid])
+        v = int(graph.edge_v[eid])
+        if head_layer_of_left[u] != slot:
+            continue
+        if slot == k:
+            if free_capacity[v] <= 0:
+                continue
+        else:
+            if not tail_arcs[slot + 1].get(v):
+                continue
+        slot_edges[slot].append(eid)
+
+    return LayeredGraph(
+        k=k,
+        head_layer_of_left=head_layer_of_left,
+        matched_arc_of_left=matched_arc_of_left,
+        slot_edges=[np.asarray(s, dtype=np.int64) for s in slot_edges],
+        tail_arcs=tail_arcs,
+        free_capacity=free_capacity.astype(np.int64),
+    )
+
+
+def _greedy_layer_matching(
+    pairs: list[tuple[int, int, int]],
+    head_available: dict[int, int],
+    tail_capacity: dict[int, int],
+) -> list[tuple[int, int, int]]:
+    """Greedy maximal matching of (head u, tail v, edge) triples where
+    each head is used ≤ once and each tail ≤ its capacity."""
+    chosen: list[tuple[int, int, int]] = []
+    for u, v, eid in pairs:
+        if head_available.get(u, 0) > 0 and tail_capacity.get(v, 0) > 0:
+            head_available[u] -= 1
+            tail_capacity[v] -= 1
+            chosen.append((u, v, eid))
+    return chosen
+
+
+def _proportional_layer_matching(
+    pairs: list[tuple[int, int, int]],
+    head_available: dict[int, int],
+    tail_capacity: dict[int, int],
+    epsilon: float,
+    seed,
+) -> list[tuple[int, int, int]]:
+    """Use the paper's own machinery as the layer matcher A (App. B):
+    solve the layer-pair allocation instance fractionally with the
+    proportional dynamics, round (§6), then greedily repair.  The
+    layer-pair graph is a subgraph of G, so λ does not increase."""
+    from repro.core.local_driver import solve_fractional_until_certificate
+    from repro.graphs.instances import AllocationInstance
+    from repro.rounding.repair import greedy_fill
+    from repro.rounding.sampling import round_best_of
+
+    heads = sorted({u for u, _, _ in pairs if head_available.get(u, 0) > 0})
+    tails = sorted({v for _, v, _ in pairs if tail_capacity.get(v, 0) > 0})
+    if not heads or not tails:
+        return []
+    head_index = {u: i for i, u in enumerate(heads)}
+    tail_index = {v: i for i, v in enumerate(tails)}
+    usable = [
+        (u, v, eid)
+        for u, v, eid in pairs
+        if head_available.get(u, 0) > 0 and tail_capacity.get(v, 0) > 0
+    ]
+    if not usable:
+        return []
+    sub = build_graph(
+        len(heads),
+        len(tails),
+        [head_index[u] for u, _, _ in usable],
+        [tail_index[v] for _, v, _ in usable],
+    )
+    sub_caps = np.asarray([tail_capacity[v] for v in tails], dtype=np.int64)
+    inst = AllocationInstance(graph=sub, capacities=sub_caps, name="layer-pair")
+    frac = solve_fractional_until_certificate(inst, epsilon).allocation
+    rounded = round_best_of(sub, sub_caps, frac, copies=8, seed=seed)
+    mask = greedy_fill(sub, sub_caps, rounded.edge_mask, order="canonical")
+    chosen: list[tuple[int, int, int]] = []
+    for local_eid in np.nonzero(mask)[0].tolist():
+        u, v, eid = usable[local_eid]
+        if head_available.get(u, 0) > 0 and tail_capacity.get(v, 0) > 0:
+            head_available[u] -= 1
+            tail_capacity[v] -= 1
+            chosen.append((u, v, eid))
+    return chosen
+
+
+def find_layered_augmenting_paths(
+    graph: BipartiteGraph,
+    layered: LayeredGraph,
+    *,
+    layer_matcher: Literal["greedy", "proportional"] = "greedy",
+    epsilon: float = 0.25,
+    seed=None,
+) -> list[AugmentingPath]:
+    """Walk the layers 0..k, extending vertex-disjoint partial paths.
+
+    At slot ``i`` the surviving unmatched edges connect active heads of
+    layer ``i`` to tail copies of layer ``i+1``; a (b-)matching between
+    them extends the partial paths.  Tails at layer ``ℓ ≤ k`` continue
+    through one of their matched arcs to that arc's head; tails at
+    ``k+1`` complete a path.
+    """
+    rng = as_generator(seed)
+    k = layered.k
+
+    # Active partial paths, keyed by their current head vertex.
+    paths_at_head: dict[int, tuple[list[int], list[int]]] = {}
+    for u in np.nonzero(layered.head_layer_of_left == 0)[0].tolist():
+        if layered.matched_arc_of_left[u] == -1:
+            paths_at_head[u] = ([], [])
+
+    completed: list[AugmentingPath] = []
+    # Copy tail-arc pools so extensions consume arcs.
+    arc_pool: list[dict[int, list[int]]] = [
+        {v: list(arcs) for v, arcs in layer.items()} for layer in layered.tail_arcs
+    ]
+    free_pool = layered.free_capacity.copy()
+
+    for slot in range(0, k + 1):
+        if not paths_at_head:
+            break
+        pairs = [
+            (int(graph.edge_u[eid]), int(graph.edge_v[eid]), int(eid))
+            for eid in layered.slot_edges[slot].tolist()
+        ]
+        head_available = {u: 1 for u in paths_at_head}
+        if slot == k:
+            tail_capacity = {
+                v: int(free_pool[v])
+                for v in {p[1] for p in pairs}
+                if free_pool[v] > 0
+            }
+        else:
+            tail_capacity = {
+                v: len(arc_pool[slot + 1].get(v, []))
+                for v in {p[1] for p in pairs}
+            }
+        if layer_matcher == "greedy":
+            chosen = _greedy_layer_matching(pairs, head_available, tail_capacity)
+        elif layer_matcher == "proportional":
+            chosen = _proportional_layer_matching(
+                pairs, head_available, tail_capacity, epsilon, rng
+            )
+        else:
+            raise ValueError(f"unknown layer_matcher {layer_matcher!r}")
+
+        next_paths: dict[int, tuple[list[int], list[int]]] = {}
+        for u, v, eid in chosen:
+            unmatched, matched = paths_at_head.pop(u)
+            unmatched = unmatched + [eid]
+            if slot == k:
+                free_pool[v] -= 1
+                completed.append(AugmentingPath(unmatched, list(matched)))
+            else:
+                arc = arc_pool[slot + 1][v].pop()
+                u_next = int(graph.edge_u[arc])
+                next_paths[u_next] = (unmatched, matched + [arc])
+        # Paths that failed to extend die for this iteration.
+        paths_at_head = next_paths
+
+    return completed

@@ -1,0 +1,60 @@
+"""The paper's core algorithms and drivers.
+
+Layout:
+
+* :mod:`repro.core.params` — every closed-form parameter (τ, B, t, λ
+  guesses, predicted factors).
+* :mod:`repro.core.fractional` — fractional allocation values.
+* :mod:`repro.core.proportional` — Algorithm 1/3 dynamics
+  (:class:`ProportionalRun`).
+* :mod:`repro.core.termination` — the λ-free stopping certificate.
+* :mod:`repro.core.adaptive` — threshold schedules + Lemma 13
+  reconstruction.
+* :mod:`repro.core.trace` — per-round trajectory recording.
+* :mod:`repro.core.local_driver` — LOCAL entry points (Theorems 2, 9,
+  20 and the λ-oblivious variant).
+* :mod:`repro.core.sampled` — Algorithm 2 (sampled phases).
+* :mod:`repro.core.mpc_driver` — the full MPC algorithm (Theorem 3).
+"""
+
+from repro.core.fractional import FractionalAllocation, FeasibilityReport
+from repro.core.proportional import (
+    ProportionalRun,
+    ConstantThresholds,
+    ReplayThresholds,
+    compute_x_alloc,
+    match_weight_from_alloc,
+)
+from repro.core.termination import CertificateStatus, evaluate_certificate
+from repro.core.local_driver import (
+    LocalRunResult,
+    resolve_lambda_bound,
+    solve_fractional_fixed_tau,
+    solve_fractional_until_certificate,
+    solve_fractional_one_plus_eps,
+)
+from repro.core.pipeline import PipelineResult, solve_allocation
+from repro.core.ball_replay import ReplayOutcome, verify_phase_locality
+from repro.core import params
+
+__all__ = [
+    "FractionalAllocation",
+    "FeasibilityReport",
+    "ProportionalRun",
+    "ConstantThresholds",
+    "ReplayThresholds",
+    "compute_x_alloc",
+    "match_weight_from_alloc",
+    "CertificateStatus",
+    "evaluate_certificate",
+    "LocalRunResult",
+    "resolve_lambda_bound",
+    "solve_fractional_fixed_tau",
+    "solve_fractional_until_certificate",
+    "solve_fractional_one_plus_eps",
+    "PipelineResult",
+    "solve_allocation",
+    "ReplayOutcome",
+    "verify_phase_locality",
+    "params",
+]

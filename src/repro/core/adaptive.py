@@ -1,0 +1,144 @@
+"""Algorithm 3 machinery: adaptive thresholds and Lemma 13 extraction.
+
+Algorithm 3 itself is :class:`repro.core.proportional.ProportionalRun`
+with a non-constant :class:`ThresholdSchedule`; this module provides
+
+* schedules used by tests/ablations (random k in ``[1/k₀, k₀]``), and
+* the **Lemma 13 equivalence witness**: given the *true* allocs of a
+  round and the decisions some execution actually took (e.g. sampled
+  Algorithm 2 acting on estimates), reconstruct per-vertex thresholds
+  ``k_{v,r} ∈ [1/4, 4]`` under which Algorithm 3 would have taken the
+  identical decisions — or report which vertices admit no such
+  threshold (the low-probability estimation-failure event).
+
+The reconstruction follows the case analysis of Lemma 13: it prefers
+the lemma's canonical constants (¼, ½, 3, 1) and otherwise picks any
+feasible value in ``[1/4, 4]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "RandomizedThresholds",
+    "ThresholdWitness",
+    "reconstruct_round_thresholds",
+    "K_MIN",
+    "K_MAX",
+]
+
+K_MIN = 0.25
+K_MAX = 4.0
+
+
+@dataclass
+class RandomizedThresholds:
+    """IID thresholds ``k_{v,r} ~ U[1/k₀, k₀]`` — the stress schedule
+    E10 uses to probe Theorem 16's ``(2+(2k+8)ε)`` degradation."""
+
+    k0: float = 4.0
+    seed: int | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k0 < 1:
+            raise ValueError(f"k0 must be >= 1, got {self.k0}")
+        self._rng = as_generator(self.seed)
+
+    def thresholds(self, round_index: int, n_right: int) -> np.ndarray:
+        return self._rng.uniform(1.0 / self.k0, self.k0, size=n_right)
+
+
+@dataclass(frozen=True)
+class ThresholdWitness:
+    """Per-round reconstruction outcome.
+
+    ``k`` is a feasible threshold vector; ``feasible`` flags vertices
+    whose decision is explainable by *some* ``k ∈ [1/4, 4]``.  The whp
+    statement of Lemma 13 is that ``feasible`` is all-True.
+    """
+
+    k: np.ndarray
+    feasible: np.ndarray
+
+    @property
+    def all_feasible(self) -> bool:
+        return bool(self.feasible.all())
+
+    @property
+    def infeasible_count(self) -> int:
+        return int((~self.feasible).sum())
+
+
+def reconstruct_round_thresholds(
+    true_alloc: np.ndarray,
+    capacities: np.ndarray,
+    decisions: np.ndarray,
+    epsilon: float,
+) -> ThresholdWitness:
+    """Lemma 13's constructive direction for one round.
+
+    For each right vertex, given its true ``alloc_v`` and the decision
+    ``d ∈ {+1, −1, 0}`` an execution took, find ``k ∈ [1/4, 4]`` such
+    that Algorithm 3's rule reproduces ``d``:
+
+    * ``d = +1`` needs ``alloc ≤ C/(1+kε)``  ⇔  ``k ≤ (C/alloc − 1)/ε``;
+    * ``d = −1`` needs ``alloc ≥ C(1+kε)``  ⇔  ``k ≤ (alloc/C − 1)/ε``;
+    * ``d = 0``  needs ``C/(1+kε) < alloc < C(1+kε)``
+      ⇔  ``k > (max(C/alloc, alloc/C) − 1)/ε``.
+    """
+    epsilon = check_fraction(epsilon, "epsilon")
+    alloc = np.asarray(true_alloc, dtype=np.float64)
+    caps = np.asarray(capacities, dtype=np.float64)
+    decisions = np.asarray(decisions)
+    if not (alloc.shape == caps.shape == decisions.shape):
+        raise ValueError("alloc, capacities, decisions must share a shape")
+
+    n = alloc.shape[0]
+    k = np.full(n, 1.0, dtype=np.float64)
+    feasible = np.ones(n, dtype=bool)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # Upper bounds on k for the two one-sided decisions.
+        k_up_increase = np.where(alloc > 0, (caps / np.where(alloc > 0, alloc, 1.0) - 1.0) / epsilon, np.inf)
+        k_up_decrease = (alloc / caps - 1.0) / epsilon
+        # Lower bound (strict) for the keep decision; alloc = 0 can
+        # never be kept (C/(1+kε) > 0 for every finite k), so its ratio
+        # is +∞ and the decision is unexplainable.
+        ratio = np.where(
+            alloc > 0,
+            np.maximum(caps / np.where(alloc > 0, alloc, 1.0), alloc / caps),
+            np.inf,
+        )
+        k_low_keep = (ratio - 1.0) / epsilon
+
+    inc = decisions == 1
+    dec = decisions == -1
+    keep = decisions == 0
+
+    # d = +1: any k ≤ k_up_increase works; take the largest admissible
+    # value clamped into [K_MIN, K_MAX] (Lemma 13 uses 1/4, which is
+    # admissible exactly when k_up_increase ≥ 1/4 — the same condition).
+    ok = inc & (k_up_increase >= K_MIN)
+    k[ok] = np.minimum(K_MAX, k_up_increase[ok])
+    feasible[inc & ~(k_up_increase >= K_MIN)] = False
+
+    # d = −1 symmetric.
+    ok = dec & (k_up_decrease >= K_MIN)
+    k[ok] = np.minimum(K_MAX, k_up_decrease[ok])
+    feasible[dec & ~(k_up_decrease >= K_MIN)] = False
+
+    # d = 0: need some k in (k_low_keep, K_MAX]; pick K_MAX when valid.
+    ok = keep & (k_low_keep < K_MAX)
+    k[ok] = K_MAX
+    feasible[keep & ~(k_low_keep < K_MAX)] = False
+
+    # Clamp into [K_MIN, K_MAX] for the feasible ones.
+    k = np.clip(k, K_MIN, K_MAX)
+    return ThresholdWitness(k=k, feasible=feasible)

@@ -1,0 +1,116 @@
+"""Fractional allocations (Definition 6) as first-class values.
+
+A fractional allocation assigns ``x_e ∈ [0, 1]`` to every edge with
+``Σ_{v∈N_u} x_{u,v} ≤ 1`` for ``u ∈ L`` and ``Σ_{u∈N_v} x_{u,v} ≤ C_v``
+for ``v ∈ R``.  The solvers return :class:`FractionalAllocation`
+objects; feasibility checking is centralized here so every output in
+the library is validated the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.capacities import validate_capacities
+
+__all__ = ["FractionalAllocation", "FeasibilityReport"]
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a feasibility check with the worst violations found."""
+
+    feasible: bool
+    max_left_excess: float
+    max_right_excess: float
+    min_value: float
+    max_value: float
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+@dataclass(frozen=True)
+class FractionalAllocation:
+    """Edge values ``x`` (canonical edge order) for a specific instance."""
+
+    x: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.float64)
+        object.__setattr__(self, "x", x)
+
+    @property
+    def weight(self) -> float:
+        """Total fractional weight ``Σ_e x_e``."""
+        return float(self.x.sum())
+
+    def left_loads(self, graph: BipartiteGraph) -> np.ndarray:
+        """``Σ_{v∈N_u} x_{u,v}`` per left vertex."""
+        return np.bincount(graph.edge_u, weights=self.x, minlength=graph.n_left)
+
+    def right_loads(self, graph: BipartiteGraph) -> np.ndarray:
+        """``Σ_{u∈N_v} x_{u,v}`` per right vertex."""
+        return np.bincount(graph.edge_v, weights=self.x, minlength=graph.n_right)
+
+    def check_feasibility(
+        self,
+        graph: BipartiteGraph,
+        capacities: np.ndarray,
+        *,
+        tol: float = 1e-9,
+    ) -> FeasibilityReport:
+        """Validate Definition 6 up to floating tolerance ``tol``."""
+        caps = validate_capacities(graph, capacities)
+        if self.x.shape != (graph.n_edges,):
+            raise ValueError(
+                f"x has shape {self.x.shape}, expected ({graph.n_edges},)"
+            )
+        left = self.left_loads(graph)
+        right = self.right_loads(graph)
+        max_left_excess = float((left - 1.0).max(initial=0.0))
+        max_right_excess = float((right - caps).max(initial=0.0))
+        min_value = float(self.x.min(initial=0.0))
+        max_value = float(self.x.max(initial=0.0))
+        feasible = (
+            max_left_excess <= tol
+            and max_right_excess <= tol
+            and min_value >= -tol
+            and max_value <= 1.0 + tol
+        )
+        return FeasibilityReport(
+            feasible=feasible,
+            max_left_excess=max_left_excess,
+            max_right_excess=max_right_excess,
+            min_value=min_value,
+            max_value=max_value,
+        )
+
+    def require_feasible(
+        self, graph: BipartiteGraph, capacities: np.ndarray, *, tol: float = 1e-9
+    ) -> "FractionalAllocation":
+        """Raise if infeasible; returns self for chaining."""
+        report = self.check_feasibility(graph, capacities, tol=tol)
+        if not report.feasible:
+            raise ValueError(f"infeasible fractional allocation: {report}")
+        return self
+
+    def scaled_into_feasibility(
+        self, graph: BipartiteGraph, capacities: np.ndarray
+    ) -> "FractionalAllocation":
+        """Scale each right vertex's incoming mass down to its capacity.
+
+        This is exactly lines 5–6 of Algorithm 1: ``x'_{u,v} =
+        min(1, C_v/alloc_v) · x_{u,v}``.  Left-side loads only shrink,
+        so the result is feasible whenever the input satisfies the
+        left-side constraint.
+        """
+        caps = validate_capacities(graph, capacities)
+        right = self.right_loads(graph)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(right > caps, caps / np.where(right > 0, right, 1.0), 1.0)
+        x_scaled = self.x * scale[graph.edge_v]
+        return FractionalAllocation(x=x_scaled)

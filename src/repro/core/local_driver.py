@@ -1,0 +1,203 @@
+"""LOCAL-model entry points for the paper's fractional algorithms.
+
+Three drivers, one per theorem:
+
+* :func:`solve_fractional_fixed_tau` — Algorithm 1 for
+  ``τ = ⌈log_{1+ε}(4λ/ε)⌉ + 1`` rounds (Theorem 2/9; needs λ or a
+  bound on it).
+* :func:`solve_fractional_until_certificate` — the λ-oblivious variant
+  (remark after Theorem 9): run until one of the two certificate
+  conditions holds.
+* :func:`solve_fractional_one_plus_eps` — the long AZM18 regime
+  (Theorem 20): ``τ = 2·log(2|R|/ε)/ε² + 1/ε`` rounds for (1+O(ε)).
+
+Each returns a :class:`LocalRunResult` with the scaled (feasible)
+fractional allocation, the round count (the quantity the paper's
+bounds speak about), and the certified approximation factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core import params
+from repro.core.fractional import FractionalAllocation
+from repro.core.proportional import ProportionalRun, ThresholdSchedule
+from repro.core.termination import CertificateStatus, evaluate_certificate
+from repro.core.trace import RoundTrace
+from repro.graphs import degeneracy
+from repro.graphs.instances import AllocationInstance
+
+__all__ = [
+    "LocalRunResult",
+    "resolve_lambda_bound",
+    "solve_fractional_fixed_tau",
+    "solve_fractional_until_certificate",
+    "solve_fractional_one_plus_eps",
+]
+
+
+@dataclass(frozen=True)
+class LocalRunResult:
+    """Outcome of a LOCAL driver run."""
+
+    allocation: FractionalAllocation
+    match_weight: float
+    rounds: int
+    epsilon: float
+    certificate: Optional[CertificateStatus]
+    guarantee: Optional[float]   # certified factor g: OPT ≤ g · match_weight
+    trace: Optional[RoundTrace]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def resolve_lambda_bound(instance: AllocationInstance) -> int:
+    """Best available arboricity upper bound for an instance: the
+    generator's certificate when present, else the degeneracy
+    (λ ≤ degeneracy always)."""
+    if instance.arboricity_upper_bound is not None:
+        return max(1, int(instance.arboricity_upper_bound))
+    return max(1, degeneracy(instance.graph))
+
+
+def _finish(
+    run: ProportionalRun,
+    instance: AllocationInstance,
+    guarantee: Optional[float],
+    trace: Optional[RoundTrace],
+    **meta: Any,
+) -> LocalRunResult:
+    allocation = run.fractional_allocation().require_feasible(
+        instance.graph, instance.capacities, tol=1e-6
+    )
+    return LocalRunResult(
+        allocation=allocation,
+        match_weight=run.match_weight(),
+        rounds=run.rounds_completed,
+        epsilon=run.epsilon,
+        certificate=evaluate_certificate(run),
+        guarantee=guarantee,
+        trace=trace,
+        meta=meta,
+    )
+
+
+def solve_fractional_fixed_tau(
+    instance: AllocationInstance,
+    epsilon: float,
+    *,
+    tau: Optional[int] = None,
+    lam: Optional[int] = None,
+    thresholds: Optional[ThresholdSchedule] = None,
+    record_trace: bool = False,
+) -> LocalRunResult:
+    """Theorem 2/9: Algorithm 1 for a λ-derived fixed round budget.
+
+    When ``tau`` is given it overrides the λ-derived value (used by
+    round-sweep experiments).  The certified guarantee 2+10ε applies
+    only to the default Algorithm-1 thresholds with the full budget;
+    custom ``thresholds`` report Theorem 16's factor if they advertise
+    a ``k0`` attribute, else no guarantee.
+    """
+    if lam is None:
+        lam = resolve_lambda_bound(instance)
+    if tau is None:
+        tau = params.tau_two_approx(lam, epsilon)
+    run = ProportionalRun(
+        instance.graph, instance.capacities, epsilon, thresholds=thresholds
+    )
+    trace: Optional[RoundTrace] = None
+    if record_trace:
+        trace = RoundTrace()
+        for _ in range(tau):
+            run.step()
+            trace.append_from_run(run)
+    else:
+        run.run(tau)
+
+    guarantee: Optional[float]
+    full_budget = tau >= params.tau_two_approx(lam, epsilon)
+    if thresholds is None:
+        guarantee = params.approx_factor_two_regime(epsilon) if full_budget else None
+    elif hasattr(thresholds, "k0") and full_budget:
+        guarantee = params.approx_factor_adaptive(epsilon, float(thresholds.k0))
+    else:
+        guarantee = None
+    return _finish(run, instance, guarantee, trace, tau=tau, lam=lam, mode="fixed_tau")
+
+
+def solve_fractional_until_certificate(
+    instance: AllocationInstance,
+    epsilon: float,
+    *,
+    check_every: int = 1,
+    max_rounds: Optional[int] = None,
+    thresholds: Optional[ThresholdSchedule] = None,
+    record_trace: bool = False,
+) -> LocalRunResult:
+    """The λ-oblivious driver: stop at the first satisfied certificate.
+
+    ``max_rounds`` defaults to the λ = n worst case plus slack; hitting
+    it raises, because the paper guarantees the certificate fires by
+    ``⌈log_{1+ε}(4λ/ε)⌉ + 1`` — exceeding the cap signals a bug, not a
+    hard instance.
+    """
+    if check_every < 1:
+        raise ValueError(f"check_every must be >= 1, got {check_every}")
+    if max_rounds is None:
+        worst_lambda = max(2, instance.graph.n_vertices)
+        max_rounds = params.tau_two_approx(worst_lambda, epsilon) + 2
+    run = ProportionalRun(
+        instance.graph, instance.capacities, epsilon, thresholds=thresholds
+    )
+    trace = RoundTrace() if record_trace else None
+    certificate: Optional[CertificateStatus] = None
+    while run.rounds_completed < max_rounds:
+        run.step()
+        if trace is not None:
+            trace.append_from_run(run)
+        if run.rounds_completed % check_every == 0:
+            certificate = evaluate_certificate(run)
+            if certificate.satisfied:
+                break
+    else:  # pragma: no cover - defensive; the theorem forbids this
+        raise RuntimeError(
+            f"certificate did not fire within {max_rounds} rounds — "
+            "this contradicts the remark after Theorem 9"
+        )
+    if certificate is None or not certificate.satisfied:
+        raise RuntimeError(
+            f"certificate did not fire within {max_rounds} rounds — "
+            "this contradicts the remark after Theorem 9"
+        )
+    guarantee = params.approx_factor_two_regime(epsilon) if thresholds is None else None
+    return _finish(
+        run, instance, guarantee, trace, mode="until_certificate",
+        check_every=check_every,
+    )
+
+
+def solve_fractional_one_plus_eps(
+    instance: AllocationInstance,
+    epsilon: float,
+    *,
+    tau: Optional[int] = None,
+    record_trace: bool = False,
+) -> LocalRunResult:
+    """Theorem 20 regime: long run, (1 + (1+14)ε) with Algorithm 1's
+    ``k = 1`` thresholds (Lemma 19 with k = 1)."""
+    if tau is None:
+        tau = params.tau_one_plus_eps(instance.graph.n_right, epsilon)
+    run = ProportionalRun(instance.graph, instance.capacities, epsilon)
+    trace: Optional[RoundTrace] = None
+    if record_trace:
+        trace = RoundTrace()
+        for _ in range(tau):
+            run.step()
+            trace.append_from_run(run)
+    else:
+        run.run(tau)
+    full_budget = tau >= params.tau_one_plus_eps(instance.graph.n_right, epsilon)
+    guarantee = params.approx_factor_one_plus_eps(epsilon, k=1.0) if full_budget else None
+    return _finish(run, instance, guarantee, trace, tau=tau, mode="one_plus_eps")

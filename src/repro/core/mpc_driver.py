@@ -1,0 +1,377 @@
+"""The full MPC algorithm (Theorem 3).
+
+Pipeline: λ-guessing loop → per guess, phases of B sampled rounds
+(Algorithm 2) → per phase, the O(1)-round termination test → scaled
+output.  Round bookkeeping follows §5's schedule:
+
+* one phase = graph exponentiation over the phase's sampled graph
+  (``2·⌈log₂ B⌉`` exchange rounds), plus constant rounds for level
+  grouping, sampling, state write-back, and the termination test;
+* the guess schedule ``λ_i = 2^(4^i)`` (``√log λ_i`` doubles per guess)
+  keeps the λ-oblivious total within a constant factor of the known-λ
+  cost (§3.2.2) — E6 measures that factor.
+
+Two execution modes (DESIGN.md §5):
+
+* ``mode="simulate"`` — Algorithm 2 semantics run directly (the
+  vectorized :class:`SampledRun`); MPC rounds are charged from the
+  same per-phase schedule the faithful mode actually executes.  This
+  is the scale path.
+* ``mode="faithful"`` — every communication step additionally runs on
+  an accounted :class:`MPCCluster`: the phase's sampled edges are
+  distributed, balls of radius B are collected by real graph
+  exponentiation, and the termination test runs as route+reduce.
+  Space budgets (``S = O(n^α)`` words) are enforced; the numeric
+  trajectory is produced by the same keyed sampler, so the two modes
+  return bit-identical allocations for one seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Literal, Optional
+
+import numpy as np
+
+from repro.core import params
+from repro.core.fractional import FractionalAllocation
+from repro.core.sampled import SampledRun
+from repro.core.termination import CertificateStatus, neighbors_of_right_set
+from repro.graphs.instances import AllocationInstance
+from repro.mpc.cluster import MPCCluster, cluster_for
+from repro.mpc.exponentiation import collect_balls
+from repro.mpc.primitives import route_by_key, tree_reduce
+from repro.utils.validation import check_fraction
+
+__all__ = ["MPCRoundLedger", "MPCResult", "solve_allocation_mpc"]
+
+
+@dataclass
+class MPCRoundLedger:
+    """Accumulated MPC round counts, by category."""
+
+    by_category: dict[str, int] = field(default_factory=dict)
+    phases: int = 0
+    guesses: list[int] = field(default_factory=list)
+    peak_machine_words: int = 0
+    peak_global_words: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    def charge(self, category: str, rounds: int) -> None:
+        self.by_category[category] = self.by_category.get(category, 0) + int(rounds)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.by_category.values())
+
+
+@dataclass(frozen=True)
+class MPCResult:
+    """Outcome of the MPC driver."""
+
+    allocation: FractionalAllocation
+    match_weight: float
+    local_rounds: int                     # LOCAL rounds simulated (last guess)
+    mpc_rounds: int                       # total accounted MPC rounds
+    ledger: MPCRoundLedger
+    certificate: Optional[CertificateStatus]
+    guarantee: Optional[float]
+    epsilon: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def _phase_round_schedule(block: int) -> dict[str, int]:
+    """Per-phase round charges.
+
+    Exponentiation reaches radius 2B (the bipartite dependency radius
+    of B dynamics rounds — see :mod:`repro.core.ball_replay`): one
+    doubling join = 2 exchanges, ⌈log₂(2B)⌉ joins.
+    """
+    exp_rounds = 2 * max(1, math.ceil(math.log2(2 * block)))
+    return {
+        "exponentiation": exp_rounds,
+        "grouping": 1,
+        "sampling": 1,
+        "writeback": 1,
+        "termination_test": 2,
+    }
+
+
+def _evaluate_certificate_from_run(run: SampledRun, epsilon: float) -> CertificateStatus:
+    """Certificate conditions on a sampled run's current state."""
+    graph = run.graph
+    top = run.top_level_mask()
+    bottom = run.bottom_level_mask()
+    n_prime = int(neighbors_of_right_set(graph, top).sum())
+    l0_size = int(bottom.sum())
+    upper_mass = float(run.alloc[~bottom].sum())
+    return CertificateStatus(
+        rounds=run.rounds_completed,
+        n_prime=n_prime,
+        l0_size=l0_size,
+        top_size=int(top.sum()),
+        upper_mass=upper_mass,
+        small_frontier=n_prime <= l0_size,
+        mass_condition=upper_mass >= (1.0 - epsilon / 2.0) * n_prime,
+        epsilon=epsilon,
+    )
+
+
+def _faithful_phase(
+    run: SampledRun,
+    cluster: MPCCluster,
+    rounds_in_phase: int,
+    ledger: MPCRoundLedger,
+) -> None:
+    """Execute one phase's *communication* on the cluster.
+
+    Pre-draws the phase's samples through the keyed sampler (pure
+    functions of the seed, so the subsequent ``run_phase`` redraws the
+    identical sets), builds the union sampled graph, and collects
+    radius-``rounds_in_phase`` balls by graph exponentiation with full
+    space accounting.
+    """
+    g = run.graph
+    left_groups, right_groups = run.build_phase_groups()
+    sampled_slots_l: list[np.ndarray] = []
+    sampled_slots_r: list[np.ndarray] = []
+    for r in range(rounds_in_phase):
+        round_index = run.rounds_completed + r
+        pos_l = run.sampler.sample_positions(left_groups, 0, round_index, run.sample_budget)
+        pos_r = run.sampler.sample_positions(right_groups, 1, round_index, run.sample_budget)
+        sampled_slots_l.append(left_groups.slot_order[pos_l])
+        sampled_slots_r.append(right_groups.slot_order[pos_r])
+
+    # Union sampled graph over the phase, in merged vertex ids.
+    edge_set: set[tuple[int, int]] = set()
+    for slots in sampled_slots_l:
+        for s in slots.tolist():
+            u = int(np.searchsorted(g.left_indptr, s, side="right") - 1)
+            v = int(g.left_adj[s])
+            edge_set.add((u, g.n_left + v))
+    for slots in sampled_slots_r:
+        for s in slots.tolist():
+            v = int(np.searchsorted(g.right_indptr, s, side="right") - 1)
+            u = int(g.right_adj[s])
+            edge_set.add((u, g.n_left + v))
+
+    # Level grouping round: co-locate each vertex's incident sampled
+    # edges (the grouping information) by vertex id.
+    cluster.load([("sedge", a, b) for a, b in sorted(edge_set)])
+    route_by_key(cluster, key_fn=lambda rec: rec[1], label="grouping")
+    ledger.charge("grouping", 1)
+    ledger.charge("sampling", 1)  # the sample-announcement round
+
+    # Graph exponentiation on the sampled graph.  One dynamics round is
+    # a radius-2 dependency in the bipartite graph (alloc needs x from
+    # N(v), which needs β̂ from N(N(v))), so B rounds need radius-2B
+    # balls — verified executable in repro.core.ball_replay.  The +1
+    # inside ⌈log₂(2B)⌉ is absorbed by the theorem's constants.
+    if rounds_in_phase >= 1:
+        _, exp_rounds = collect_balls(
+            cluster,
+            g.n_vertices,
+            sorted(edge_set),
+            radius=2 * rounds_in_phase,
+        )
+        ledger.charge("exponentiation", exp_rounds)
+    # Write-back of updated β values: one routing round.
+    cluster.load([("beta", int(v), int(run.beta_exp[v])) for v in range(g.n_right)])
+    route_by_key(cluster, key_fn=lambda rec: rec[1], label="writeback")
+    ledger.charge("writeback", 1)
+
+    ledger.peak_machine_words = max(
+        ledger.peak_machine_words,
+        max(m.peak_stored_words for m in cluster.machines),
+    )
+    ledger.peak_global_words = max(ledger.peak_global_words, cluster.peak_global_words())
+    ledger.violations.extend(cluster.violations)
+
+
+def _faithful_certificate_test(
+    run: SampledRun, cluster: MPCCluster, ledger: MPCRoundLedger
+) -> CertificateStatus:
+    """The O(1)-round termination test, executed with primitives.
+
+    Round 1 routes (edge, is-top-endpoint) records by left vertex so
+    each machine can mark its covered left vertices; a tree reduce then
+    folds (|N'|, |L₀|, Σ_{j≥1} alloc) to machine 0.
+    """
+    g = run.graph
+    top = run.top_level_mask()
+    bottom = run.bottom_level_mask()
+    records: list[tuple] = [
+        ("cedge", int(g.edge_u[e]), bool(top[g.edge_v[e]])) for e in range(g.n_edges)
+    ]
+    records.extend(
+        ("cvert", int(v), bool(bottom[v]), float(run.alloc[v]))
+        for v in range(g.n_right)
+    )
+    cluster.load(records)
+    route_by_key(cluster, key_fn=lambda rec: rec[1], label="certificate/route")
+    ledger.charge("termination_test", 1)
+
+    # Local dedup: covered left vertices per machine.
+    def extract(rec):
+        if rec[0] == "__covered__":
+            return (rec[1], 0, 0.0)
+        if rec[0] == "cvert":
+            return (0, 1 if rec[2] else 0, 0.0 if rec[2] else rec[3])
+        return None
+
+    for m in cluster.machines:
+        covered = {rec[1] for rec in m.storage if rec[0] == "cedge" and rec[2]}
+        m.store(("__covered__", len(covered)))
+
+    def combine(a, b):
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+    (n_prime, l0_size, upper_mass), reduce_rounds = tree_reduce(
+        cluster, extract, combine, (0, 0, 0.0), label="certificate/reduce"
+    )
+    ledger.charge("termination_test", reduce_rounds)
+    return CertificateStatus(
+        rounds=run.rounds_completed,
+        n_prime=int(n_prime),
+        l0_size=int(l0_size),
+        top_size=int(top.sum()),
+        upper_mass=float(upper_mass),
+        small_frontier=n_prime <= l0_size,
+        mass_condition=upper_mass >= (1.0 - run.epsilon / 2.0) * n_prime,
+        epsilon=run.epsilon,
+    )
+
+
+def solve_allocation_mpc(
+    instance: AllocationInstance,
+    epsilon: float,
+    *,
+    alpha: float = 0.5,
+    lam: Optional[int] = None,
+    sample_budget: Optional[int] = None,
+    mode: Literal["simulate", "faithful"] = "simulate",
+    estimator: Literal["stratified", "pooled"] = "stratified",
+    sampler: Optional[Literal["keyed", "fast"]] = None,
+    seed=None,
+    max_guesses: int = 8,
+    space_slack: float = 64.0,
+    block_override: Optional[int] = None,
+    certificate_cadence: Literal["per_phase", "per_guess"] = "per_phase",
+) -> MPCResult:
+    """Theorem 3: (2+O(ε))-approximate fractional allocation in MPC.
+
+    ``lam=None`` activates the λ-guessing loop; a known bound skips it.
+    The returned guarantee is Theorem 17's ``2+16ε`` (the sampled
+    algorithm's factor, ε ≤ 1/4) once a certificate is obtained.
+    Boosting to (1+ε) is :mod:`repro.boosting`'s job downstream.
+
+    ``sampler`` defaults to ``"keyed"`` in faithful mode (required —
+    samples must be re-drawable inside a collected ball) and ``"fast"``
+    in simulate mode; pass ``"keyed"`` explicitly to make the two modes
+    bit-identical for one seed (the cross-mode equivalence test).
+
+    ``block_override`` forces the phase length B instead of eq. (4)'s
+    value — eq. (4) only exceeds 1 at asymptotic scales, so E5's
+    compression-economics sweep forces B to expose the ``τ/B·log B``
+    trade-off at laptop scale.  ``certificate_cadence`` selects between
+    testing the stopping conditions after every phase (strictly better,
+    the default) and only at the end of each guess's full budget (the
+    literal §3.2.2 schedule, which E6 uses to measure the guessing
+    overhead the paper's analysis bounds).
+    """
+    epsilon = check_fraction(epsilon, "epsilon", inclusive_high=0.25)
+    if not (0.0 < alpha < 1.0):
+        raise ValueError(f"alpha must lie in (0,1), got {alpha}")
+    graph = instance.graph
+    n = max(2, graph.n_vertices)
+    ledger = MPCRoundLedger()
+
+    guesses = [lam] if lam is not None else [params.lambda_guess(i) for i in range(max_guesses)]
+    run: Optional[SampledRun] = None
+    certificate: Optional[CertificateStatus] = None
+    used_guess: Optional[int] = None
+
+    for guess in guesses:
+        block = block_override or params.block_length(n, guess, epsilon, alpha)
+        tau = params.tau_two_approx(guess, epsilon)
+        if mode == "faithful" and sampler == "fast":
+            raise ValueError("faithful mode requires the keyed sampler")
+        effective_sampler = sampler or ("keyed" if mode == "faithful" else "fast")
+        run = SampledRun(
+            graph,
+            instance.capacities,
+            epsilon,
+            block=block,
+            sample_budget=sample_budget,
+            estimator=estimator,
+            sampler=effective_sampler,
+            seed=seed,
+            record_estimates=False,
+        )
+        cluster: Optional[MPCCluster] = None
+        if mode == "faithful":
+            total_words = 3 * (graph.n_edges + graph.n_vertices) + 16
+            cluster = cluster_for(
+                total_words, n_for_alpha=n, alpha=alpha, slack=space_slack, strict=True
+            )
+        ledger.guesses.append(guess)
+        schedule = _phase_round_schedule(block)
+
+        while run.rounds_completed < tau:
+            rounds_this_phase = min(block, tau - run.rounds_completed)
+            if mode == "faithful":
+                assert cluster is not None
+                _faithful_phase(run, cluster, rounds_this_phase, ledger)
+            else:
+                for category, cost in schedule.items():
+                    if category != "termination_test":
+                        ledger.charge(category, cost)
+            run.run_phase(rounds_this_phase)
+            ledger.phases += 1
+            # Termination test: per phase (sound at any round) or only
+            # at the end of the guess's budget (§3.2.2's schedule).
+            at_budget_end = run.rounds_completed >= tau
+            if certificate_cadence == "per_guess" and not at_budget_end:
+                continue
+            if mode == "faithful":
+                assert cluster is not None
+                certificate = _faithful_certificate_test(run, cluster, ledger)
+            else:
+                ledger.charge("termination_test", schedule["termination_test"])
+                certificate = _evaluate_certificate_from_run(run, epsilon)
+            if certificate.satisfied:
+                break
+        if certificate is not None and certificate.satisfied:
+            used_guess = guess
+            break
+
+    if run is None or certificate is None or not certificate.satisfied:
+        raise RuntimeError(
+            f"certificate did not fire within {max_guesses} λ guesses — "
+            "the guess cap is below the instance's arboricity"
+        )
+
+    allocation = run.fractional_allocation().require_feasible(
+        graph, instance.capacities, tol=1e-6
+    )
+    # Theorem 17 factor for the sampled algorithm (k = 4 thresholds).
+    guarantee = params.approx_factor_adaptive(epsilon, 4.0)
+    return MPCResult(
+        allocation=allocation,
+        match_weight=run.match_weight(),
+        local_rounds=run.rounds_completed,
+        mpc_rounds=ledger.total_rounds,
+        ledger=ledger,
+        certificate=certificate,
+        guarantee=guarantee,
+        epsilon=epsilon,
+        meta={
+            "mode": mode,
+            "alpha": alpha,
+            "used_guess": used_guess,
+            "lambda_known": lam is not None,
+            "sample_budget": run.sample_budget,
+            "block": run.block,
+        },
+    )

@@ -1,0 +1,169 @@
+"""Parameter schedules: every closed-form knob the paper specifies.
+
+Centralizing these keeps the experiment tables honest — the "paper
+prediction" columns in EXPERIMENTS.md are computed from these functions
+and nothing else.
+
+Conventions: ``log`` is natural log unless a base is explicit;
+``log2`` is used where the paper counts doublings (λ-guessing, graph
+exponentiation).  All round counts are ceilinged to integers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "tau_two_approx",
+    "tau_one_plus_eps",
+    "tau_azm18",
+    "approx_factor_two_regime",
+    "approx_factor_adaptive",
+    "approx_factor_one_plus_eps",
+    "block_length",
+    "sample_size",
+    "lemma11_sample_size",
+    "lambda_guess",
+    "lambda_guess_schedule",
+    "predicted_mpc_rounds",
+]
+
+
+def tau_two_approx(lam: int, epsilon: float) -> int:
+    """Rounds for the (2+10ε) guarantee: ``⌈log_{1+ε}(4λ/ε)⌉ + 1``.
+
+    Theorem 9: running Algorithm 1 for ``τ ≥ log_{1+ε}(4λ/ε) + 1``
+    rounds yields ``OPT ≤ (2+10ε)·MatchWeight``.
+    """
+    lam = check_positive_int(lam, "lam")
+    epsilon = check_fraction(epsilon, "epsilon")
+    return int(math.ceil(math.log(4.0 * lam / epsilon) / math.log1p(epsilon))) + 1
+
+
+def tau_one_plus_eps(n_right: int, epsilon: float) -> int:
+    """Rounds for the (1+O(ε)) regime (Theorem 20 / Lemma 19):
+    ``τ ≥ 2·log(2|R|/ε)/ε² + 1/ε``."""
+    n_right = check_positive_int(n_right, "n_right")
+    epsilon = check_fraction(epsilon, "epsilon")
+    return int(
+        math.ceil(2.0 * math.log(2.0 * n_right / epsilon) / epsilon**2 + 1.0 / epsilon)
+    )
+
+
+def tau_azm18(n_right: int, epsilon: float) -> int:
+    """The AZM18 round budget ``O(log(|R|/ε)/ε²)`` — the prior state of
+    the art this paper improves on (§1.2.1).  Used by the baseline."""
+    n_right = check_positive_int(n_right, "n_right")
+    epsilon = check_fraction(epsilon, "epsilon")
+    return int(math.ceil(math.log(n_right / epsilon) / epsilon**2))
+
+
+def approx_factor_two_regime(epsilon: float) -> float:
+    """The factor Theorem 9 certifies after ``tau_two_approx`` rounds."""
+    return 2.0 + 10.0 * check_fraction(epsilon, "epsilon")
+
+
+def approx_factor_adaptive(epsilon: float, k: float) -> float:
+    """Theorem 16: Algorithm 3 with thresholds in ``[1/k, k]`` gives
+    ``(2 + (2k+8)ε)``; ``k = 4`` (Lemma 13) gives the paper's 2+16ε."""
+    epsilon = check_fraction(epsilon, "epsilon")
+    if k < 1:
+        raise ValueError(f"threshold bound k must be >= 1, got {k}")
+    return 2.0 + (2.0 * k + 8.0) * epsilon
+
+
+def approx_factor_one_plus_eps(epsilon: float, k: float = 4.0) -> float:
+    """Lemma 19 / Theorem 20: ``(1 + (k+14)ε)``; k = 4 gives 1+18ε."""
+    epsilon = check_fraction(epsilon, "epsilon")
+    if k < 1:
+        raise ValueError(f"threshold bound k must be >= 1, got {k}")
+    return 1.0 + (k + 14.0) * epsilon
+
+
+def block_length(
+    n: int, lam: int, epsilon: float, alpha: float, *, divisor: int = 48
+) -> int:
+    """Phase length ``B`` from eq. (4):
+    ``B_ε = min(√(α·log n), √(log λ)) / √(8ε)``, then ``B = B_ε/48``.
+
+    The /48 is the paper's analysis convenience; experiments expose
+    ``divisor`` to ablate it.  Floored at 1 — a phase must simulate at
+    least one round (for tiny λ the sampled algorithm degenerates to
+    the exact one, which is correct and the paper's small-λ regime).
+    """
+    n = check_positive_int(n, "n")
+    lam = check_positive_int(lam, "lam")
+    epsilon = check_fraction(epsilon, "epsilon")
+    if not (0.0 < alpha < 1.0):
+        raise ValueError(f"alpha must lie in (0,1), got {alpha}")
+    if divisor < 1:
+        raise ValueError(f"divisor must be >= 1, got {divisor}")
+    log_n = math.log2(max(2, n))
+    log_lam = math.log2(max(2, lam))
+    b_eps = min(math.sqrt(alpha * log_n), math.sqrt(log_lam)) / math.sqrt(8.0 * epsilon)
+    return max(1, int(b_eps / divisor))
+
+
+def sample_size(block: int, epsilon: float, n: int) -> int:
+    """Per-(vertex, level-group, round) sample count from Algorithm 2's
+    parameter line: ``t = (1+ε)^{2B} · ε^{-5} · log n``."""
+    block = check_positive_int(block, "block")
+    epsilon = check_fraction(epsilon, "epsilon")
+    n = check_positive_int(n, "n")
+    return int(math.ceil((1.0 + epsilon) ** (2 * block) * epsilon**-5 * math.log(max(2, n))))
+
+
+def lemma11_sample_size(spread: float, epsilon: float, n: int) -> int:
+    """Lemma 11's sufficient sample count ``s ≥ 20·t²·log n/ε⁴`` for
+    values with spread ``t`` (``x_i ∈ [V/t, V·t]``)."""
+    epsilon = check_fraction(epsilon, "epsilon")
+    if spread < 1:
+        raise ValueError(f"spread must be >= 1, got {spread}")
+    n = check_positive_int(n, "n")
+    return int(math.ceil(20.0 * spread**2 * math.log(max(2, n)) / epsilon**4))
+
+
+def lambda_guess(i: int) -> int:
+    """The ``i``-th λ guess of §3.2.2: ``√(log λ_i) = 2^i``, i.e.
+    ``λ_i = 2^(4^i)``.  Guess 0 is λ=2, then 16, 65536, ...  Doubling
+    ``√log λ`` ensures total work is a constant factor above the
+    known-λ run."""
+    if i < 0:
+        raise ValueError(f"guess index must be >= 0, got {i}")
+    return 2 ** (4**i)
+
+
+def lambda_guess_schedule(lam_max: int) -> list[int]:
+    """All guesses up to (and including) the first one ≥ ``lam_max``."""
+    lam_max = check_positive_int(lam_max, "lam_max")
+    guesses = []
+    i = 0
+    while True:
+        g = lambda_guess(i)
+        guesses.append(g)
+        if g >= lam_max:
+            return guesses
+        i += 1
+
+
+def predicted_mpc_rounds(
+    tau: int,
+    block: int,
+    *,
+    exponentiation_constant: float = 1.0,
+    per_phase_overhead: float = 2.0,
+) -> float:
+    """The §5 round model: ``(τ/B)·(c₁·⌈log₂ B⌉ + c₂)``.
+
+    ``c₁`` multiplies the graph-exponentiation doubling rounds; ``c₂``
+    covers the O(1)-round sampling, aggregation, and termination test
+    each phase performs.  Constants are calibrated in E5 against the
+    measured cluster rounds.
+    """
+    tau = check_positive_int(tau, "tau")
+    block = check_positive_int(block, "block")
+    phases = math.ceil(tau / block)
+    exp_rounds = exponentiation_constant * max(1, math.ceil(math.log2(max(2, block))))
+    return phases * (exp_rounds + per_phase_overhead)

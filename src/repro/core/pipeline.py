@@ -1,0 +1,119 @@
+"""The complete Theorem 1 / Theorem 3 pipeline as one public call.
+
+The paper's end-to-end algorithm composes three stages:
+
+1. the MPC fractional algorithm (Theorem 3: `Õ(√log λ)` rounds,
+   `(2+O(ε))` fractional, λ-oblivious),
+2. §6 randomized rounding (Θ(1) integral, whp via parallel copies),
+3. Appendix-B boosting (`(1+ε)` integral).
+
+:func:`solve_allocation` packages them with one seed and one ε, plus
+the optional greedy-repair extension between stages 2 and 3 (on by
+default — it only helps and costs O(m)).  Every stage's audit record
+is kept on the result so downstream users can report the same columns
+the experiment suite does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Literal, Optional
+
+import numpy as np
+
+from repro.boosting.boost import BoostResult, boost_allocation
+from repro.core.mpc_driver import MPCResult, solve_allocation_mpc
+from repro.graphs.instances import AllocationInstance
+from repro.rounding.repair import greedy_fill
+from repro.rounding.sampling import RoundingOutcome, round_best_of
+from repro.utils.rng import spawn
+from repro.utils.validation import check_fraction
+
+__all__ = ["PipelineResult", "solve_allocation"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Final integral allocation with per-stage audit records."""
+
+    edge_mask: np.ndarray
+    size: int
+    mpc: MPCResult
+    rounding: RoundingOutcome
+    boosting: Optional[BoostResult]
+    repaired_size: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        """One row of the numbers a report would quote."""
+        return {
+            "mpc_rounds": self.mpc.mpc_rounds,
+            "local_rounds": self.mpc.local_rounds,
+            "fractional_weight": round(self.mpc.match_weight, 3),
+            "rounded_size": self.rounding.size,
+            "repaired_size": self.repaired_size,
+            "final_size": self.size,
+            "boost_augmentations": None if self.boosting is None else self.boosting.augmentations,
+        }
+
+
+def solve_allocation(
+    instance: AllocationInstance,
+    epsilon: float = 0.2,
+    *,
+    boost_epsilon: Optional[float] = None,
+    lam: Optional[int] = None,
+    alpha: float = 0.5,
+    repair: bool = True,
+    boost: bool = True,
+    boost_mode: Literal["layered", "deterministic"] = "layered",
+    seed=None,
+) -> PipelineResult:
+    """Run the full paper pipeline on one instance.
+
+    Parameters mirror the stage drivers; ``boost_epsilon`` defaults to
+    ``max(epsilon, 0.25)`` (the boosting k grows as 1/ε, so very small
+    ε targets are expensive — pick it independently when needed).
+    Stages after the MPC solve are monotone: each can only grow the
+    allocation (asserted).
+    """
+    epsilon = check_fraction(epsilon, "epsilon", inclusive_high=0.25)
+    if boost_epsilon is None:
+        boost_epsilon = max(epsilon, 0.25)
+    streams = spawn(seed, 3)
+
+    mpc = solve_allocation_mpc(
+        instance, epsilon, alpha=alpha, lam=lam, seed=streams[0]
+    )
+    rounded = round_best_of(
+        instance.graph, instance.capacities, mpc.allocation, seed=streams[1]
+    )
+    mask = rounded.edge_mask
+    repaired_size = rounded.size
+    if repair:
+        mask = greedy_fill(instance.graph, instance.capacities, mask, seed=streams[1])
+        repaired_size = int(mask.sum())
+        assert repaired_size >= rounded.size
+
+    boosting: Optional[BoostResult] = None
+    if boost:
+        boosting = boost_allocation(
+            instance, mask, boost_epsilon, mode=boost_mode, seed=streams[2]
+        )
+        assert boosting.final_size >= repaired_size
+        mask = boosting.edge_mask
+
+    return PipelineResult(
+        edge_mask=mask,
+        size=int(mask.sum()),
+        mpc=mpc,
+        rounding=rounded,
+        boosting=boosting,
+        repaired_size=repaired_size,
+        meta={
+            "epsilon": epsilon,
+            "boost_epsilon": boost_epsilon,
+            "repair": repair,
+            "boost": boost,
+        },
+    )

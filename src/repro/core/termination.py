@@ -1,0 +1,98 @@
+"""The λ-free termination certificate (remark after Theorem 9).
+
+After any round ``r``, partition R into level sets and examine
+
+* ``N' = N(L_{2r})`` — left neighbours of the vertices whose priority
+  rose every round, and
+* ``L_0`` — vertices whose priority fell every round.
+
+The paper proves that by round ``log_{1+ε}(4λ/ε) + 1`` at least one of
+
+1. ``|N'| ≤ |L_0|``            (small-frontier condition), or
+2. ``Σ_{j≥1} Σ_{v∈L_j} alloc_v ≥ (1 − ε/2)·|N'|``   (mass condition)
+
+must hold, and that *whenever* one holds the scaled output is a
+``(2+10ε)``-approximation — so the conditions are a sound stopping rule
+that needs no knowledge of λ.  Both are O(1) MPC rounds to test; here
+they are two vectorized passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.proportional import ProportionalRun
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["CertificateStatus", "neighbors_of_right_set", "evaluate_certificate"]
+
+
+@dataclass(frozen=True)
+class CertificateStatus:
+    """Evaluation of the two stopping conditions after some round."""
+
+    rounds: int
+    n_prime: int                 # |N(L_{2r})|
+    l0_size: int                 # |L_0|
+    top_size: int                # |L_{2r}|
+    upper_mass: float            # Σ_{j≥1} alloc over L_1..L_{2r}
+    small_frontier: bool         # condition 1
+    mass_condition: bool         # condition 2
+    epsilon: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.small_frontier or self.mass_condition
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def neighbors_of_right_set(graph: BipartiteGraph, right_mask: np.ndarray) -> np.ndarray:
+    """Boolean mask over L of ``N(S)`` for a right-vertex mask ``S``.
+
+    Vectorized: expand the mask to R-CSR slots via repeat, then scatter
+    into an L-side mask.
+    """
+    right_mask = np.asarray(right_mask, dtype=bool)
+    if right_mask.shape != (graph.n_right,):
+        raise ValueError(f"right_mask must have shape ({graph.n_right},)")
+    out = np.zeros(graph.n_left, dtype=bool)
+    if not right_mask.any():
+        return out
+    slot_mask = np.repeat(right_mask, graph.right_degrees)
+    out[graph.right_adj[slot_mask]] = True
+    return out
+
+
+def evaluate_certificate(run: ProportionalRun) -> CertificateStatus:
+    """Evaluate both conditions on the current state of a run.
+
+    Uses the post-update priorities together with the alloc values
+    measured during the just-finished round — exactly the state the
+    remark after Theorem 9 reasons about.
+    """
+    if run.rounds_completed == 0 or run.alloc is None:
+        raise RuntimeError("certificate needs at least one completed round")
+    graph = run.graph
+    r = run.rounds_completed
+    top = run.top_level_mask()
+    bottom = run.bottom_level_mask()
+    n_prime = int(neighbors_of_right_set(graph, top).sum())
+    l0_size = int(bottom.sum())
+    # Σ alloc over every level above L_0 (j ≥ 1 ⇔ b_v > −r).
+    upper_mass = float(run.alloc[~bottom].sum())
+    small_frontier = n_prime <= l0_size
+    mass_condition = upper_mass >= (1.0 - run.epsilon / 2.0) * n_prime
+    return CertificateStatus(
+        rounds=r,
+        n_prime=n_prime,
+        l0_size=l0_size,
+        top_size=int(top.sum()),
+        upper_mass=upper_mass,
+        small_frontier=small_frontier,
+        mass_condition=mass_condition,
+        epsilon=run.epsilon,
+    )

@@ -1,0 +1,86 @@
+"""Round-by-round traces of a proportional-allocation run.
+
+E11 (level-set dynamics — Remark 1's "densest part saturates first")
+and several tests want the full trajectory, not just the final state.
+:class:`RoundTrace` records compact per-round summaries; attaching it
+costs O(n_right) per round on top of the O(m) dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.proportional import ProportionalRun
+from repro.core.termination import CertificateStatus, evaluate_certificate
+
+__all__ = ["RoundRecord", "RoundTrace", "run_with_trace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Summary of one completed round."""
+
+    round_index: int              # 1-based (after this many rounds)
+    match_weight: float
+    level_histogram: np.ndarray   # |L_j| for j = 0..2r
+    n_increased: int
+    n_decreased: int
+    n_kept: int
+    certificate: Optional[CertificateStatus]
+    saturated_fraction: float     # share of R with alloc ≥ C/(1+ε)
+
+
+@dataclass
+class RoundTrace:
+    """Accumulated per-round records."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append_from_run(self, run: ProportionalRun, *, with_certificate: bool = True) -> RoundRecord:
+        if run.alloc is None or run.last_decisions is None:
+            raise RuntimeError("trace can only record completed rounds")
+        decisions = run.last_decisions
+        cert = evaluate_certificate(run) if with_certificate else None
+        saturated = float(
+            np.count_nonzero(run.alloc >= run.capacities / (1.0 + run.epsilon))
+        ) / max(1, run.graph.n_right)
+        rec = RoundRecord(
+            round_index=run.rounds_completed,
+            match_weight=run.match_weight(),
+            level_histogram=run.level_histogram(),
+            n_increased=int((decisions == 1).sum()),
+            n_decreased=int((decisions == -1).sum()),
+            n_kept=int((decisions == 0).sum()),
+            certificate=cert,
+            saturated_fraction=saturated,
+        )
+        self.records.append(rec)
+        return rec
+
+    @property
+    def rounds(self) -> int:
+        return len(self.records)
+
+    def match_weights(self) -> list[float]:
+        return [r.match_weight for r in self.records]
+
+    def certificate_rounds(self) -> Optional[int]:
+        """First round whose certificate was satisfied, if any."""
+        for r in self.records:
+            if r.certificate is not None and r.certificate.satisfied:
+                return r.round_index
+        return None
+
+
+def run_with_trace(
+    run: ProportionalRun, rounds: int, *, with_certificate: bool = True
+) -> RoundTrace:
+    """Step ``rounds`` times, recording each round."""
+    trace = RoundTrace()
+    for _ in range(rounds):
+        run.step()
+        trace.append_from_run(run, with_certificate=with_certificate)
+    return trace

@@ -1,0 +1,25 @@
+"""The theorem-driven experiment suite (E1–E11).
+
+The paper is a theory contribution with no evaluation section of its
+own; this suite plays the role of its tables and figures (DESIGN.md
+§3).  Use :func:`repro.experiments.harness.run_experiment` or the CLI::
+
+    python -m repro.experiments e1 --scale normal
+    python -m repro.experiments all --scale smoke
+"""
+
+from repro.experiments.harness import (
+    REGISTRY,
+    ExperimentSpec,
+    get_experiment,
+    run_experiment,
+    run_and_save,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentSpec",
+    "get_experiment",
+    "run_experiment",
+    "run_and_save",
+]

@@ -1,0 +1,51 @@
+"""CLI for the experiment suite.
+
+Examples::
+
+    python -m repro.experiments e1
+    python -m repro.experiments e5 --scale full --seed 3
+    python -m repro.experiments all --scale smoke
+    python -m repro.experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.harness import (
+    REGISTRY,
+    _ensure_loaded,
+    run_and_save,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the theorem-driven experiment suite (E1-E11).",
+    )
+    parser.add_argument("experiment", help="experiment id (e1..e11), 'all', or 'list'")
+    parser.add_argument("--scale", choices=["smoke", "normal", "full"], default="normal")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    _ensure_loaded()
+    if args.experiment == "list":
+        for exp_id in sorted(REGISTRY):
+            spec = REGISTRY[exp_id]
+            print(f"{exp_id:5s} {spec.title}")
+            print(f"      claim: {spec.claim}")
+        return 0
+
+    targets = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        if exp_id not in REGISTRY:
+            print(f"unknown experiment {exp_id!r}; try 'list'", file=sys.stderr)
+            return 2
+        run_and_save(exp_id, scale=args.scale, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

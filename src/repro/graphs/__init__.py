@@ -1,0 +1,57 @@
+"""Bipartite graph substrate: structures, generators, arboricity.
+
+Public surface:
+
+* :class:`BipartiteGraph` / :func:`build_graph` — dual-CSR graphs.
+* :class:`AllocationInstance` — graph + capacities + λ certificate.
+* :mod:`repro.graphs.generators` — controlled-λ workload families.
+* :mod:`repro.graphs.arboricity` — degeneracy / exact λ / densest
+  subgraph.
+* :mod:`repro.graphs.splitting` — the allocation→matching reduction
+  whose arboricity blow-up motivates the paper.
+"""
+
+from repro.graphs.bipartite import BipartiteGraph, build_graph, from_neighbor_lists
+from repro.graphs.instances import AllocationInstance
+from repro.graphs.capacities import (
+    unit_capacities,
+    uniform_capacities,
+    degree_proportional_capacities,
+    zipf_capacities,
+    validate_capacities,
+    total_capacity,
+)
+from repro.graphs.arboricity import (
+    degeneracy,
+    core_numbers,
+    exact_arboricity,
+    forest_partition,
+    densest_subgraph,
+)
+from repro.graphs.properties import InstanceProfile, profile_graph
+from repro.graphs import generators
+from repro.graphs import io
+from repro.graphs import splitting
+
+__all__ = [
+    "BipartiteGraph",
+    "build_graph",
+    "from_neighbor_lists",
+    "AllocationInstance",
+    "unit_capacities",
+    "uniform_capacities",
+    "degree_proportional_capacities",
+    "zipf_capacities",
+    "validate_capacities",
+    "total_capacity",
+    "degeneracy",
+    "core_numbers",
+    "exact_arboricity",
+    "forest_partition",
+    "densest_subgraph",
+    "InstanceProfile",
+    "profile_graph",
+    "generators",
+    "io",
+    "splitting",
+]

@@ -1,0 +1,429 @@
+"""Arboricity machinery: degeneracy, exact arboricity, densest subgraph.
+
+The paper's round bounds are functions of the arboricity λ(G)
+(Definition 4).  Three tools, in increasing cost:
+
+* :func:`degeneracy` — linear-time core decomposition.  The classical
+  sandwich ``λ ≤ degeneracy ≤ 2λ − 1`` makes it the scalable λ
+  estimator used by large benchmark instances.
+* :func:`exact_arboricity` / :func:`forest_partition` — exact λ via
+  matroid-union augmentation (Roskind–Tarjan style).  Produces either
+  an explicit partition of ``E`` into ``k`` forests (certifying
+  ``λ ≤ k``) or a Nash–Williams witness subgraph with
+  ``m_S > k(|S|−1)`` (certifying ``λ > k``).  Both certificates are
+  validated before being returned, so the answer is self-checking.
+* :func:`densest_subgraph` — exact maximum-density subgraph
+  (Goldberg's parametric min-cut, solved with our Dinic), used by the
+  analysis modules to inspect where the proportional dynamics saturate
+  first (Remark 1).
+
+All routines operate on the undirected view of a bipartite graph
+(:meth:`BipartiteGraph.undirected_edges`) or on raw edge arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.dinic import DinicSolver, INF_CAPACITY
+from repro.graphs.bipartite import BipartiteGraph
+from repro.utils.validation import check_integer_array, check_positive_int
+
+__all__ = [
+    "degeneracy",
+    "core_numbers",
+    "exact_arboricity",
+    "forest_partition",
+    "densest_subgraph",
+    "nash_williams_witness_density",
+    "ArboricityResult",
+    "DensestSubgraphResult",
+]
+
+
+# ----------------------------------------------------------------------
+# Degeneracy (linear-time bucket queue)
+# ----------------------------------------------------------------------
+
+def core_numbers(n: int, edge_a: np.ndarray, edge_b: np.ndarray) -> np.ndarray:
+    """Core number of every vertex of an undirected simple graph.
+
+    Standard Batagelj–Zaveršnik bucket peeling; O(n + m).  The maximum
+    core number is the graph's degeneracy.
+    """
+    edge_a = check_integer_array(edge_a, "edge_a")
+    edge_b = check_integer_array(edge_b, "edge_b")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    # Vectorized CSR adjacency over the undirected doubling.
+    src = np.concatenate([edge_a, edge_b])
+    dst = np.concatenate([edge_b, edge_a])
+    by_src = np.argsort(src, kind="stable")
+    adj = dst[by_src]
+    deg = np.bincount(src, minlength=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+
+    # Bucket fronts: bin_ptr[d] = position in `order` where degree-d
+    # vertices currently start.
+    max_deg = int(deg.max(initial=0))
+    bin_ptr = np.zeros(max_deg + 2, dtype=np.int64)
+    np.add.at(bin_ptr, deg + 1, 1)
+    np.cumsum(bin_ptr, out=bin_ptr)
+    order = np.argsort(deg, kind="stable").astype(np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n, dtype=np.int64)
+
+    degree = deg.copy()  # mutated during peeling; final value = core number
+    order_l = order.tolist()  # python lists: the peel loop is scalar-heavy
+    pos_l = pos.tolist()
+    degree_l = degree.tolist()
+    adj_l = adj.tolist()
+    indptr_l = indptr.tolist()
+    bin_ptr_l = bin_ptr.tolist()
+    for i in range(n):
+        v = order_l[i]
+        dv = degree_l[v]
+        for j in range(indptr_l[v], indptr_l[v + 1]):
+            w = adj_l[j]
+            dw = degree_l[w]
+            if dw > dv:
+                # Move w to the front of its bucket, shrink the bucket,
+                # and decrement w's degree (w slides into bucket dw-1).
+                front = bin_ptr_l[dw]
+                u = order_l[front]
+                if u != w:
+                    pw = pos_l[w]
+                    order_l[front] = w
+                    order_l[pw] = u
+                    pos_l[w] = front
+                    pos_l[u] = pw
+                bin_ptr_l[dw] = front + 1
+                degree_l[w] = dw - 1
+    return np.asarray(degree_l, dtype=np.int64)
+
+
+def degeneracy(graph: BipartiteGraph) -> int:
+    """Degeneracy of the underlying undirected graph.
+
+    Satisfies ``λ(G) ≤ degeneracy(G) ≤ 2λ(G) − 1``; the cheap λ proxy.
+    """
+    ea, eb = graph.undirected_edges()
+    if ea.size == 0:
+        return 0
+    cores = core_numbers(graph.n_vertices, ea, eb)
+    return int(cores.max())
+
+
+# ----------------------------------------------------------------------
+# Exact arboricity via matroid-union augmentation
+# ----------------------------------------------------------------------
+
+class _ForestFamily:
+    """``k`` edge-disjoint forests over ``n`` vertices with matroid-union
+    augmenting insertion.
+
+    ``insert`` either accepts the edge (restructuring the family along a
+    shortest augmenting chain) or returns a Nash–Williams witness: the
+    vertex set touched by the failed BFS, which induces a subgraph too
+    dense for ``k`` forests.
+    """
+
+    def __init__(self, n: int, k: int):
+        self.n = n
+        self.k = k
+        # adjacency[i][v] = list of (neighbour, edge_id) in forest i.
+        self.adjacency: list[list[list[tuple[int, int]]]] = [
+            [[] for _ in range(n)] for _ in range(k)
+        ]
+        self.owner: dict[int, int] = {}
+        self.endpoints: dict[int, tuple[int, int]] = {}
+
+    # -- forest maintenance ------------------------------------------------
+    def _add(self, forest: int, edge_id: int, a: int, b: int) -> None:
+        self.adjacency[forest][a].append((b, edge_id))
+        self.adjacency[forest][b].append((a, edge_id))
+        self.owner[edge_id] = forest
+
+    def _remove(self, forest: int, edge_id: int) -> None:
+        a, b = self.endpoints[edge_id]
+        self.adjacency[forest][a] = [
+            (w, e) for (w, e) in self.adjacency[forest][a] if e != edge_id
+        ]
+        self.adjacency[forest][b] = [
+            (w, e) for (w, e) in self.adjacency[forest][b] if e != edge_id
+        ]
+        del self.owner[edge_id]
+
+    def _tree_path(self, forest: int, a: int, b: int) -> Optional[list[int]]:
+        """Edge ids on the unique ``a``–``b`` path in ``forest``; ``None``
+        if the endpoints lie in different components."""
+        if a == b:
+            return []
+        parent_edge: dict[int, tuple[int, int]] = {a: (-1, -1)}
+        queue = deque([a])
+        while queue:
+            v = queue.popleft()
+            for w, eid in self.adjacency[forest][v]:
+                if w not in parent_edge:
+                    parent_edge[w] = (v, eid)
+                    if w == b:
+                        path = []
+                        cur = b
+                        while cur != a:
+                            prev, peid = parent_edge[cur]
+                            path.append(peid)
+                            cur = prev
+                        return path
+                    queue.append(w)
+        return None
+
+    # -- augmentation --------------------------------------------------
+    def insert(self, edge_id: int, a: int, b: int) -> Optional[set[int]]:
+        """Try to insert an edge; returns ``None`` on success or the
+        witness vertex set on failure."""
+        self.endpoints[edge_id] = (a, b)
+        label: dict[int, Optional[int]] = {edge_id: None}
+        queue = deque([edge_id])
+        while queue:
+            f = queue.popleft()
+            fa, fb = self.endpoints[f]
+            f_owner = self.owner.get(f)
+            for forest in range(self.k):
+                if forest == f_owner:
+                    continue
+                path = self._tree_path(forest, fa, fb)
+                if path is None:
+                    self._apply_chain(f, forest, label)
+                    return None
+                for g in path:
+                    if g not in label:
+                        label[g] = f
+                        queue.append(g)
+        # Augmentation failed: the labelled edges witness density > k.
+        witness: set[int] = set()
+        for e in label:
+            ea, eb = self.endpoints[e]
+            witness.add(ea)
+            witness.add(eb)
+        del self.endpoints[edge_id]
+        return witness
+
+    def _apply_chain(self, f: int, dest: int, label: dict[int, Optional[int]]) -> None:
+        """Walk the label chain, cascading edges between forests."""
+        cur: Optional[int] = f
+        while cur is not None:
+            prev_owner = self.owner.get(cur)
+            if prev_owner is not None:
+                self._remove(prev_owner, cur)
+            ca, cb = self.endpoints[cur]
+            self._add(dest, cur, ca, cb)
+            if prev_owner is None:
+                break
+            dest = prev_owner
+            cur = label[cur]
+
+    # -- introspection -------------------------------------------------
+    def partition(self) -> list[list[int]]:
+        """Edge ids per forest."""
+        out: list[list[int]] = [[] for _ in range(self.k)]
+        for eid, forest in self.owner.items():
+            out[forest].append(eid)
+        return out
+
+    def validate(self) -> None:
+        """Assert each forest is acyclic (union-find check)."""
+        for forest in range(self.k):
+            parent = list(range(self.n))
+
+            def find(x: int) -> int:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for eid, owner in self.owner.items():
+                if owner != forest:
+                    continue
+                a, b = self.endpoints[eid]
+                ra, rb = find(a), find(b)
+                if ra == rb:
+                    raise AssertionError(f"forest {forest} contains a cycle at edge {eid}")
+                parent[ra] = rb
+
+
+@dataclass(frozen=True)
+class ArboricityResult:
+    """Exact arboricity with its two-sided certificates.
+
+    ``partition`` certifies ``λ ≤ value`` (validated forest partition);
+    ``witness_vertices`` certifies ``λ > value − 1`` (vertex set whose
+    induced subgraph has more than ``(value−1)(|S|−1)`` edges).  For
+    forests (λ ≤ 1 decided without a failure) the witness may be None.
+    """
+
+    value: int
+    partition: list[np.ndarray]
+    witness_vertices: Optional[np.ndarray]
+
+
+def forest_partition(
+    n: int, edge_a: np.ndarray, edge_b: np.ndarray, k: int
+) -> tuple[Optional[list[np.ndarray]], Optional[np.ndarray]]:
+    """Partition edges into ``k`` forests, or produce a density witness.
+
+    Returns ``(partition, None)`` on success or ``(None, witness)`` on
+    failure, where ``witness`` is a vertex array with
+    ``m_{G[S]} > k(|S| − 1)`` (validated here).
+    """
+    k = check_positive_int(k, "k")
+    edge_a = check_integer_array(edge_a, "edge_a")
+    edge_b = check_integer_array(edge_b, "edge_b")
+    family = _ForestFamily(n, k)
+    for eid, (a, b) in enumerate(zip(edge_a.tolist(), edge_b.tolist())):
+        if a == b:
+            raise ValueError("self-loops have no forest partition")
+        witness = family.insert(eid, a, b)
+        if witness is not None:
+            witness_arr = np.asarray(sorted(witness), dtype=np.int64)
+            _validate_witness(edge_a, edge_b, witness_arr, k, upto_edge=eid)
+            return None, witness_arr
+    family.validate()
+    partition = [np.asarray(sorted(ids), dtype=np.int64) for ids in family.partition()]
+    return partition, None
+
+
+def _validate_witness(
+    edge_a: np.ndarray, edge_b: np.ndarray, witness: np.ndarray, k: int, upto_edge: int
+) -> None:
+    """Check the Nash–Williams violation ``m_S > k(|S| − 1)``."""
+    in_s = np.zeros(int(max(edge_a.max(initial=0), edge_b.max(initial=0))) + 1, dtype=bool)
+    in_s[witness] = True
+    considered_a = edge_a[: upto_edge + 1]
+    considered_b = edge_b[: upto_edge + 1]
+    m_s = int(np.count_nonzero(in_s[considered_a] & in_s[considered_b]))
+    if m_s <= k * (witness.size - 1):
+        raise RuntimeError(
+            "matroid-union failure produced an invalid Nash–Williams witness "
+            f"(m_S={m_s}, k(|S|-1)={k * (witness.size - 1)}); this indicates a bug"
+        )
+
+
+def exact_arboricity(graph: BipartiteGraph, *, max_k: int | None = None) -> ArboricityResult:
+    """Exact arboricity of (the undirected view of) ``graph``.
+
+    Searches ``k`` upward from the Nash–Williams density floor to the
+    degeneracy ceiling; cost is dominated by the matroid-union runs,
+    suitable for instances up to a few thousand edges (tests and
+    experiment instrumentation — large benchmarks use ``degeneracy``).
+    """
+    ea, eb = graph.undirected_edges()
+    n = graph.n_vertices
+    m = ea.shape[0]
+    if m == 0:
+        return ArboricityResult(value=0, partition=[], witness_vertices=None)
+    lo = max(1, -(-m // max(1, n - 1)))  # ceil(m / (n-1)) — global density floor
+    hi = max(lo, degeneracy(graph))
+    if max_k is not None:
+        hi = min(hi, max_k)
+    witness: Optional[np.ndarray] = None
+    for k in range(lo, hi + 1):
+        partition, w = forest_partition(n, ea, eb, k)
+        if partition is not None:
+            return ArboricityResult(value=k, partition=partition, witness_vertices=witness)
+        witness = w
+    raise RuntimeError(
+        f"arboricity exceeds the degeneracy ceiling {hi}; "
+        "this contradicts λ ≤ degeneracy and indicates a bug"
+    )
+
+
+# ----------------------------------------------------------------------
+# Densest subgraph (Goldberg's parametric min-cut)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DensestSubgraphResult:
+    """Maximum-density subgraph: density ``m_S / |S|`` as an exact
+    fraction plus the optimal vertex set."""
+
+    density: Fraction
+    vertices: np.ndarray
+
+
+def densest_subgraph(n: int, edge_a: np.ndarray, edge_b: np.ndarray) -> DensestSubgraphResult:
+    """Exact maximum-density subgraph via Goldberg's reduction.
+
+    Decision ``∃S ≠ ∅ : m_S/|S| > p/q`` ⇔ the min cut of the network
+    (source →(q) edge-nodes →(∞) endpoints →(p) sink) is < ``m·q``.
+    Distinct achievable densities differ by ≥ 1/n², so a binary search
+    over the integer grid of ``m_S·n! ...`` — concretely over fractions
+    with denominator ≤ n — terminates in O(log(m n)) maxflows.
+    """
+    edge_a = check_integer_array(edge_a, "edge_a")
+    edge_b = check_integer_array(edge_b, "edge_b")
+    m = edge_a.shape[0]
+    if m == 0:
+        return DensestSubgraphResult(density=Fraction(0), vertices=np.empty(0, dtype=np.int64))
+
+    def cut_test(p: int, q: int) -> Optional[np.ndarray]:
+        """Vertices of a subgraph with density > p/q, else ``None``."""
+        solver = DinicSolver(1 + m + n + 1)
+        source = 0
+        sink = 1 + m + n
+        for eid in range(m):
+            solver.add_edge(source, 1 + eid, q)
+            solver.add_edge(1 + eid, 1 + m + int(edge_a[eid]), INF_CAPACITY)
+            solver.add_edge(1 + eid, 1 + m + int(edge_b[eid]), INF_CAPACITY)
+        for v in range(n):
+            solver.add_edge(1 + m + v, sink, p)
+        flow = solver.max_flow(source, sink)
+        if flow >= m * q:
+            return None
+        side = solver.min_cut_source_side(source)
+        verts = np.asarray(
+            [v for v in range(n) if side[1 + m + v]], dtype=np.int64
+        )
+        return verts
+
+    # Binary search over densities on the 1/(n(n-1)) grid.
+    lo_num, lo_den = 0, 1          # known achievable (empty graph density 0)
+    best_vertices = np.unique(np.concatenate([edge_a, edge_b]))
+    hi_num, hi_den = m, 1          # density can never exceed m
+    grid = n * n
+    lo = Fraction(lo_num, lo_den)
+    hi = Fraction(hi_num, hi_den)
+    while hi - lo > Fraction(1, grid):
+        mid = (lo + hi) / 2
+        verts = cut_test(mid.numerator, mid.denominator)
+        if verts is not None and verts.size > 0:
+            lo = mid
+            best_vertices = verts
+        else:
+            hi = mid
+    # Exact density of the extracted set.
+    in_s = np.zeros(n, dtype=bool)
+    in_s[best_vertices] = True
+    m_s = int(np.count_nonzero(in_s[edge_a] & in_s[edge_b]))
+    dens = Fraction(m_s, max(1, best_vertices.size))
+    return DensestSubgraphResult(density=dens, vertices=best_vertices)
+
+
+def nash_williams_witness_density(
+    n: int, edge_a: np.ndarray, edge_b: np.ndarray, vertices: np.ndarray
+) -> Fraction:
+    """``m_S / (|S| − 1)`` for a vertex set ``S`` — the Nash–Williams
+    quantity whose ceiling lower-bounds arboricity."""
+    vertices = check_integer_array(vertices, "vertices")
+    if vertices.size < 2:
+        return Fraction(0)
+    in_s = np.zeros(n, dtype=bool)
+    in_s[vertices] = True
+    m_s = int(np.count_nonzero(in_s[edge_a] & in_s[edge_b]))
+    return Fraction(m_s, vertices.size - 1)

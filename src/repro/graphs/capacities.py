@@ -1,0 +1,98 @@
+"""Capacity profiles for the right side of an allocation instance.
+
+The allocation problem attaches an integer capacity ``C_v ≥ 1`` to
+every right vertex.  The paper's motivating applications (online ads,
+server-client load balancing) induce characteristic capacity shapes:
+uniform server capacities, budgets proportional to advertiser reach
+(degree), and heavy-tailed budgets.  Each profile here is a pure
+function of (graph, parameters, seed) so instances are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer_array, check_positive_int
+
+__all__ = [
+    "unit_capacities",
+    "uniform_capacities",
+    "degree_proportional_capacities",
+    "zipf_capacities",
+    "validate_capacities",
+    "total_capacity",
+]
+
+
+def validate_capacities(graph: BipartiteGraph, capacities: np.ndarray) -> np.ndarray:
+    """Check shape/positivity of a capacity vector and return it as int64.
+
+    Capacities are per right vertex; every value must be ≥ 1
+    (Definition 5 in the paper takes ``C : R → N≥1``).
+    """
+    caps = check_integer_array(capacities, "capacities")
+    if caps.shape != (graph.n_right,):
+        raise ValueError(
+            f"capacities must have shape ({graph.n_right},), got {caps.shape}"
+        )
+    if caps.size and caps.min() < 1:
+        raise ValueError("capacities must be >= 1 everywhere")
+    return caps
+
+
+def total_capacity(capacities: np.ndarray) -> int:
+    """Sum of capacities, ``C(R)``."""
+    return int(np.asarray(capacities, dtype=np.int64).sum())
+
+
+def unit_capacities(graph: BipartiteGraph) -> np.ndarray:
+    """All capacities 1 — the allocation problem degenerates to bipartite
+    maximum matching, the special case §1 builds on."""
+    return np.ones(graph.n_right, dtype=np.int64)
+
+
+def uniform_capacities(graph: BipartiteGraph, value: int) -> np.ndarray:
+    """Constant capacity ``value`` (uniform server capacity)."""
+    value = check_positive_int(value, "value")
+    return np.full(graph.n_right, value, dtype=np.int64)
+
+
+def degree_proportional_capacities(
+    graph: BipartiteGraph, fraction: float = 0.5, minimum: int = 1
+) -> np.ndarray:
+    """``C_v = max(minimum, round(fraction · deg(v)))``.
+
+    Models advertisers whose budget scales with their audience.  With
+    ``fraction < 1`` the instance is capacity-constrained (interesting
+    over-allocation dynamics); ``fraction ≥ 1`` makes the L-side
+    constraint the binding one.
+    """
+    if not (0.0 < fraction):
+        raise ValueError(f"fraction must be positive, got {fraction}")
+    minimum = check_positive_int(minimum, "minimum")
+    caps = np.maximum(minimum, np.rint(fraction * graph.right_degrees)).astype(np.int64)
+    return caps
+
+
+def zipf_capacities(
+    graph: BipartiteGraph,
+    exponent: float = 2.0,
+    maximum: int | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Heavy-tailed capacities, ``C_v ~ Zipf(exponent)`` clipped to ``maximum``.
+
+    Heavy-tailed budgets stress the level-set dynamics: a few huge-
+    capacity vertices stay under-allocated (their β climbs) while the
+    bulk saturates quickly — the regime Remark 1 describes.
+    """
+    if exponent <= 1.0:
+        raise ValueError(f"zipf exponent must exceed 1, got {exponent}")
+    rng = as_generator(seed)
+    caps = rng.zipf(exponent, size=graph.n_right).astype(np.int64)
+    if maximum is not None:
+        maximum = check_positive_int(maximum, "maximum")
+        caps = np.minimum(caps, maximum)
+    return np.maximum(caps, 1)

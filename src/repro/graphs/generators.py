@@ -1,0 +1,626 @@
+"""Workload generators with arboricity certified by construction.
+
+The paper's bounds are parameterized by the arboricity λ of the input.
+To measure "rounds vs λ" cleanly (experiment E1) the generators below
+control λ *by construction*:
+
+* a union of ``k`` bipartite forests has arboricity ≤ k (Nash–Williams:
+  the construction itself is a partition into k forests);
+* a star has arboricity 1;
+* a complete bipartite graph ``K_{a,b}`` has arboricity
+  ``⌈ab / (a+b−1)⌉`` exactly;
+* locality-based load-balancing instances with per-client degree d are
+  d-degenerate from the client side, hence arboricity ≤ d.
+
+Every generator returns an :class:`AllocationInstance` whose
+``arboricity_upper_bound`` records the certificate and whose
+``metadata`` records the parameters.  Generators are deterministic
+functions of their ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph, build_graph
+from repro.graphs.capacities import (
+    degree_proportional_capacities,
+    uniform_capacities,
+    unit_capacities,
+    zipf_capacities,
+)
+from repro.graphs.instances import AllocationInstance
+from repro.utils.rng import as_generator, spawn
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "union_of_forests",
+    "random_bipartite_forest_edges",
+    "star_instance",
+    "double_star_instance",
+    "complete_bipartite_instance",
+    "erdos_renyi_instance",
+    "power_law_instance",
+    "regular_instance",
+    "grid_instance",
+    "cycle_instance",
+    "planted_dense_core_instance",
+    "slow_spread_instance",
+    "load_balancing_instance",
+    "adwords_instance",
+    "FAMILY_BUILDERS",
+]
+
+
+def _dedupe(n_left: int, n_right: int, eu: np.ndarray, ev: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate (u, v) pairs; keeps arboricity certificates valid
+    (removing edges never increases arboricity)."""
+    if eu.size == 0:
+        return eu.astype(np.int64), ev.astype(np.int64)
+    key = eu.astype(np.int64) * np.int64(n_right) + ev.astype(np.int64)
+    _, idx = np.unique(key, return_index=True)
+    return eu[idx].astype(np.int64), ev[idx].astype(np.int64)
+
+
+def random_bipartite_forest_edges(
+    n_left: int, n_right: int, seed=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edges of one uniform-ish random bipartite forest.
+
+    Vertices are inserted in random order; each new vertex attaches to
+    a uniformly random already-inserted vertex of the *opposite* side
+    (or becomes a root when none exists).  Every vertex contributes at
+    most one edge and the edge goes to an earlier vertex, so the result
+    is acyclic: a forest spanning all of ``L ∪ R``.
+    """
+    rng = as_generator(seed)
+    n = n_left + n_right
+    order = rng.permutation(n)
+    placed_left: list[int] = []
+    placed_right: list[int] = []
+    eu: list[int] = []
+    ev: list[int] = []
+    for vid in order.tolist():
+        if vid < n_left:
+            if placed_right:
+                partner = placed_right[rng.integers(0, len(placed_right))]
+                eu.append(vid)
+                ev.append(partner)
+            placed_left.append(vid)
+        else:
+            rid = vid - n_left
+            if placed_left:
+                partner = placed_left[rng.integers(0, len(placed_left))]
+                eu.append(partner)
+                ev.append(rid)
+            placed_right.append(rid)
+    return np.asarray(eu, dtype=np.int64), np.asarray(ev, dtype=np.int64)
+
+
+def union_of_forests(
+    n_left: int,
+    n_right: int,
+    k: int,
+    *,
+    capacity: int | str = 2,
+    seed=None,
+) -> AllocationInstance:
+    """Union of ``k`` independent random bipartite forests: λ ≤ k.
+
+    This is the canonical controlled-λ family for E1/E3/E5/E6: with n
+    fixed, sweeping ``k`` sweeps arboricity while the vertex set, the
+    capacity profile, and the generator stay identical.
+
+    ``capacity`` is either a constant or ``"degree"`` for
+    degree-proportional capacities.
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    n_right = check_positive_int(n_right, "n_right")
+    k = check_positive_int(k, "k")
+    streams = spawn(seed, k)
+    eu_parts: list[np.ndarray] = []
+    ev_parts: list[np.ndarray] = []
+    for stream in streams:
+        eu, ev = random_bipartite_forest_edges(n_left, n_right, stream)
+        eu_parts.append(eu)
+        ev_parts.append(ev)
+    eu = np.concatenate(eu_parts) if eu_parts else np.empty(0, dtype=np.int64)
+    ev = np.concatenate(ev_parts) if ev_parts else np.empty(0, dtype=np.int64)
+    eu, ev = _dedupe(n_left, n_right, eu, ev)
+    graph = build_graph(n_left, n_right, eu, ev)
+    caps = _capacity_profile(graph, capacity, seed)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=k,
+        name=f"forests(k={k})",
+        metadata={"family": "union_of_forests", "n_left": n_left,
+                  "n_right": n_right, "k": k, "capacity": capacity},
+    )
+
+
+def star_instance(n_leaves: int, *, center_capacity: int | None = None) -> AllocationInstance:
+    """A star: leaves in L, single center in R.  λ = 1.
+
+    With ``center_capacity = n_leaves`` this is the §1.1 example on
+    which the vertex-splitting reduction to matching blows arboricity
+    up to Θ(n) (experiment E9).
+    """
+    n_leaves = check_positive_int(n_leaves, "n_leaves")
+    if center_capacity is None:
+        center_capacity = n_leaves
+    center_capacity = check_positive_int(center_capacity, "center_capacity")
+    eu = np.arange(n_leaves, dtype=np.int64)
+    ev = np.zeros(n_leaves, dtype=np.int64)
+    graph = build_graph(n_leaves, 1, eu, ev)
+    caps = np.asarray([center_capacity], dtype=np.int64)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=1,
+        name=f"star(n={n_leaves})",
+        metadata={"family": "star", "n_leaves": n_leaves,
+                  "center_capacity": center_capacity},
+    )
+
+
+def double_star_instance(
+    n_leaves: int, *, shared_fraction: float = 0.5, capacity: int | None = None
+) -> AllocationInstance:
+    """Two centers in R sharing a fraction of the leaves.  λ ≤ 2.
+
+    The shared leaves create contention between two high-capacity
+    vertices — a minimal instance where the proportional dynamics must
+    split mass rather than saturate greedily.
+    """
+    n_leaves = check_positive_int(n_leaves, "n_leaves")
+    if not (0.0 <= shared_fraction <= 1.0):
+        raise ValueError("shared_fraction must lie in [0, 1]")
+    n_shared = int(round(shared_fraction * n_leaves))
+    eu_list: list[int] = []
+    ev_list: list[int] = []
+    for u in range(n_leaves):
+        if u < n_shared:
+            eu_list.extend([u, u])
+            ev_list.extend([0, 1])
+        elif u % 2 == 0:
+            eu_list.append(u)
+            ev_list.append(0)
+        else:
+            eu_list.append(u)
+            ev_list.append(1)
+    graph = build_graph(n_leaves, 2, eu_list, ev_list)
+    if capacity is None:
+        capacity = max(1, n_leaves // 2)
+    caps = np.full(2, capacity, dtype=np.int64)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=2,
+        name=f"double_star(n={n_leaves})",
+        metadata={"family": "double_star", "n_leaves": n_leaves,
+                  "shared_fraction": shared_fraction, "capacity": capacity},
+    )
+
+
+def complete_bipartite_instance(
+    a: int, b: int, *, capacity: int | str = 1
+) -> AllocationInstance:
+    """``K_{a,b}`` with exact arboricity ``⌈ab/(a+b−1)⌉`` (Nash–Williams
+    is tight on complete bipartite graphs)."""
+    a = check_positive_int(a, "a")
+    b = check_positive_int(b, "b")
+    eu = np.repeat(np.arange(a, dtype=np.int64), b)
+    ev = np.tile(np.arange(b, dtype=np.int64), a)
+    graph = build_graph(a, b, eu, ev)
+    caps = _capacity_profile(graph, capacity, None)
+    arb = math.ceil((a * b) / (a + b - 1)) if a + b > 1 else 1
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=arb,
+        name=f"K({a},{b})",
+        metadata={"family": "complete_bipartite", "a": a, "b": b,
+                  "capacity": capacity, "exact_arboricity": arb},
+    )
+
+
+def erdos_renyi_instance(
+    n_left: int,
+    n_right: int,
+    m: int,
+    *,
+    capacity: int | str = 2,
+    seed=None,
+) -> AllocationInstance:
+    """``m`` uniformly random distinct edges.
+
+    No structural λ certificate beyond the trivial density bound
+    ``λ ≤ ⌈m / 1⌉`` — the recorded bound is the Nash–Williams density
+    ceiling ``⌈m/(n_left+n_right−1)⌉`` *plus* the max-degree slack; the
+    exact value is left to :mod:`repro.graphs.arboricity`.  Used for
+    approximation sweeps (E2) where λ is measured, not assumed.
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    n_right = check_positive_int(n_right, "n_right")
+    if m < 0 or m > n_left * n_right:
+        raise ValueError(f"m must lie in [0, {n_left * n_right}], got {m}")
+    rng = as_generator(seed)
+    chosen = rng.choice(n_left * n_right, size=m, replace=False)
+    eu = (chosen // n_right).astype(np.int64)
+    ev = (chosen % n_right).astype(np.int64)
+    graph = build_graph(n_left, n_right, eu, ev)
+    caps = _capacity_profile(graph, capacity, seed)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=None,
+        name=f"er(n={n_left}+{n_right},m={m})",
+        metadata={"family": "erdos_renyi", "n_left": n_left,
+                  "n_right": n_right, "m": m, "capacity": capacity},
+    )
+
+
+def power_law_instance(
+    n_left: int,
+    n_right: int,
+    mean_left_degree: int = 3,
+    exponent: float = 2.2,
+    *,
+    capacity: int | str = "degree",
+    seed=None,
+) -> AllocationInstance:
+    """Ad-auction-like skewed bipartite graph.
+
+    Right vertices (advertisers) receive Zipf popularity weights; each
+    left vertex (impression) connects to ``Poisson(mean_left_degree)+1``
+    advertisers sampled by popularity.  Degree skew concentrates edges
+    on a dense core — the workload shape the paper's introduction
+    motivates — while overall density stays low.
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    n_right = check_positive_int(n_right, "n_right")
+    mean_left_degree = check_positive_int(mean_left_degree, "mean_left_degree")
+    rng = as_generator(seed)
+    weights = 1.0 / np.power(np.arange(1, n_right + 1, dtype=np.float64), exponent - 1.0)
+    rng.shuffle(weights)
+    probs = weights / weights.sum()
+    degrees = rng.poisson(mean_left_degree - 1, size=n_left) + 1
+    degrees = np.minimum(degrees, n_right)
+    eu_list: list[np.ndarray] = []
+    ev_list: list[np.ndarray] = []
+    for u in range(n_left):
+        d = int(degrees[u])
+        nbrs = rng.choice(n_right, size=d, replace=False, p=probs)
+        eu_list.append(np.full(d, u, dtype=np.int64))
+        ev_list.append(nbrs.astype(np.int64))
+    eu = np.concatenate(eu_list)
+    ev = np.concatenate(ev_list)
+    eu, ev = _dedupe(n_left, n_right, eu, ev)
+    graph = build_graph(n_left, n_right, eu, ev)
+    caps = _capacity_profile(graph, capacity, seed)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=None,
+        name=f"powerlaw(n={n_left}+{n_right})",
+        metadata={"family": "power_law", "n_left": n_left, "n_right": n_right,
+                  "mean_left_degree": mean_left_degree, "exponent": exponent,
+                  "capacity": capacity},
+    )
+
+
+def regular_instance(
+    n: int, d: int, *, capacity: int | str = 1, seed=None
+) -> AllocationInstance:
+    """d-regular balanced bipartite graph as a union of ``d`` random
+    perfect matchings: λ ≤ d by construction (each matching is a
+    forest), and ≈ d/2 by density."""
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    if d > n:
+        raise ValueError(f"degree d={d} cannot exceed n={n}")
+    rng = as_generator(seed)
+    # Circulant construction: matching j pairs left u with
+    # perm[(u + j) mod n].  Cyclic shifts of one permutation are
+    # automatically edge-disjoint perfect matchings, so the union is
+    # d-regular and simple without any rejection sampling.
+    perm = rng.permutation(n).astype(np.int64)
+    left_ids = np.arange(n, dtype=np.int64)
+    eu = np.tile(left_ids, d)
+    ev = np.concatenate([perm[(left_ids + j) % n] for j in range(d)])
+    graph = build_graph(n, n, eu, ev)
+    caps = _capacity_profile(graph, capacity, seed)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=d,
+        name=f"regular(n={n},d={d})",
+        metadata={"family": "regular", "n": n, "d": d, "capacity": capacity},
+    )
+
+
+def grid_instance(rows: int, cols: int, *, capacity: int = 2) -> AllocationInstance:
+    """2-D grid graph with the natural checkerboard bipartition: λ ≤ 2.
+
+    Grids are the textbook uniformly sparse family; every subgraph has
+    average degree < 4 and the grid splits into 2 forests (rows, cols).
+    """
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    # Checkerboard colouring: colour (i+j) % 2; colour-0 cells → L,
+    # colour-1 cells → R.
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    colour = (np.add.outer(np.arange(rows), np.arange(cols)) % 2)
+    left_cells = idx[colour == 0]
+    right_cells = idx[colour == 1]
+    left_map = np.full(rows * cols, -1, dtype=np.int64)
+    right_map = np.full(rows * cols, -1, dtype=np.int64)
+    left_map[left_cells] = np.arange(left_cells.size)
+    right_map[right_cells] = np.arange(right_cells.size)
+
+    eu_list: list[int] = []
+    ev_list: list[int] = []
+    for i in range(rows):
+        for j in range(cols):
+            for di, dj in ((0, 1), (1, 0)):
+                ni, nj = i + di, j + dj
+                if ni < rows and nj < cols:
+                    a, b = idx[i, j], idx[ni, nj]
+                    if colour[i, j] == 0:
+                        eu_list.append(int(left_map[a]))
+                        ev_list.append(int(right_map[b]))
+                    else:
+                        eu_list.append(int(left_map[b]))
+                        ev_list.append(int(right_map[a]))
+    graph = build_graph(int(left_cells.size), int(right_cells.size), eu_list, ev_list)
+    caps = uniform_capacities(graph, capacity)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=2,
+        name=f"grid({rows}x{cols})",
+        metadata={"family": "grid", "rows": rows, "cols": cols, "capacity": capacity},
+    )
+
+
+def cycle_instance(half_length: int, *, capacity: int = 1) -> AllocationInstance:
+    """Even cycle ``C_{2k}``: alternating L/R vertices, λ = 2 exactly
+    (a cycle is not a forest but splits into two paths)."""
+    k = check_positive_int(half_length, "half_length")
+    if k < 2:
+        raise ValueError("cycle needs half_length >= 2")
+    eu_list: list[int] = []
+    ev_list: list[int] = []
+    for i in range(k):
+        eu_list.append(i)
+        ev_list.append(i)
+        eu_list.append((i + 1) % k)
+        ev_list.append(i)
+    graph = build_graph(k, k, eu_list, ev_list)
+    caps = uniform_capacities(graph, capacity)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=2,
+        name=f"cycle(2k={2 * k})",
+        metadata={"family": "cycle", "half_length": k, "capacity": capacity},
+    )
+
+
+def planted_dense_core_instance(
+    core_left: int,
+    core_right: int,
+    fringe_left: int,
+    fringe_right: int,
+    *,
+    core_density: float = 0.8,
+    capacity: int | str = 2,
+    seed=None,
+) -> AllocationInstance:
+    """A dense bipartite core plus a sparse forest fringe.
+
+    Remark 1 of the paper: the proportional dynamics first saturate the
+    densest part, then spread to sparser regions.  This family plants
+    exactly that structure; the level-set trace experiment (E11) runs
+    on it.  The certified λ is the core's Nash–Williams ceiling + 1
+    (fringe forest).
+    """
+    core_left = check_positive_int(core_left, "core_left")
+    core_right = check_positive_int(core_right, "core_right")
+    fringe_left = check_positive_int(fringe_left, "fringe_left")
+    fringe_right = check_positive_int(fringe_right, "fringe_right")
+    rng = as_generator(seed)
+
+    n_left = core_left + fringe_left
+    n_right = core_right + fringe_right
+    # Dense core: each possible core edge kept with prob core_density.
+    mask = rng.random((core_left, core_right)) < core_density
+    cu, cv = np.nonzero(mask)
+    eu = [cu.astype(np.int64)]
+    ev = [cv.astype(np.int64)]
+    # Fringe forest over (fringe L, fringe R), shifted ids.
+    fu, fv = random_bipartite_forest_edges(fringe_left, fringe_right, rng)
+    eu.append(fu + core_left)
+    ev.append(fv + core_right)
+    # Attachment edges: every fringe L vertex also touches one random
+    # core R vertex.  This both keeps the instance connected and plants
+    # the Remark-1 dynamics — fringe mass initially gravitates to the
+    # (soon over-allocated) core and spreads outward as core priorities
+    # fall.
+    au = np.arange(fringe_left, dtype=np.int64) + core_left
+    av = rng.choice(core_right, size=fringe_left, replace=True)
+    eu.append(au)
+    ev.append(av.astype(np.int64))
+
+    eu_arr, ev_arr = _dedupe(n_left, n_right, np.concatenate(eu), np.concatenate(ev))
+    graph = build_graph(n_left, n_right, eu_arr, ev_arr)
+    caps = _capacity_profile(graph, capacity, seed)
+    core_edges = int(mask.sum())
+    core_arb = math.ceil(core_edges / max(1, core_left + core_right - 1))
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=core_arb + 2,
+        name=f"dense_core({core_left}x{core_right}+{fringe_left}+{fringe_right})",
+        metadata={"family": "planted_dense_core", "core_left": core_left,
+                  "core_right": core_right, "fringe_left": fringe_left,
+                  "fringe_right": fringe_right, "core_density": core_density,
+                  "capacity": capacity},
+    )
+
+
+def slow_spread_instance(
+    core_right: int,
+    width: int = 4,
+    *,
+    seed=None,
+) -> AllocationInstance:
+    """The Theorem-9 Case-2 stress family: convergence takes Θ(log λ).
+
+    ``width·core_right`` left vertices each connect to *all* of
+    ``core_right`` capacity-1 core right vertices plus one private
+    capacity-1 fringe right vertex.  The core is massively
+    over-allocated (its priorities fall every round, forming ``L_0``)
+    while every private fringe vertex is under-allocated (rising into
+    ``L_{2τ}`` with ``N(L_{2τ})`` = all of L).  Mass reaches the fringe
+    only once the priority gap ``(1+ε)^{2r}`` beats the core width, so
+    the certificate fires after ``≈ ½·log_{1+ε}(core_right/ε)`` rounds
+    — the family that makes E1/E3/E5's log-λ shapes visible.  The
+    arboricity is ≈ ``core_right`` (dense core) and certified
+    ≤ ``core_right + 1`` (the graph is (core_right+1)-degenerate from
+    the left side).
+
+    ``seed`` is accepted for registry uniformity; the construction is
+    deterministic.
+    """
+    core_right = check_positive_int(core_right, "core_right")
+    width = check_positive_int(width, "width")
+    a = width * core_right
+    eu = np.empty(a * (core_right + 1), dtype=np.int64)
+    ev = np.empty(a * (core_right + 1), dtype=np.int64)
+    pos = 0
+    for u in range(a):
+        eu[pos : pos + core_right] = u
+        ev[pos : pos + core_right] = np.arange(core_right)
+        pos += core_right
+        eu[pos] = u
+        ev[pos] = core_right + u
+        pos += 1
+    graph = build_graph(a, core_right + a, eu, ev)
+    caps = np.ones(core_right + a, dtype=np.int64)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=core_right + 1,
+        name=f"slow_spread(b={core_right},w={width})",
+        metadata={"family": "slow_spread", "core_right": core_right, "width": width},
+    )
+
+
+def load_balancing_instance(
+    n_clients: int,
+    n_servers: int,
+    locality: int = 3,
+    *,
+    server_capacity: int | None = None,
+    seed=None,
+) -> AllocationInstance:
+    """Server-client load balancing (the ALPZ21 application).
+
+    Servers sit on a ring; client ``u`` connects to ``locality``
+    consecutive servers starting at a random position (data-locality
+    constraint).  Every client has degree exactly ``locality``, so the
+    graph is ``locality``-degenerate from the client side: λ ≤ locality.
+    Default server capacity is the balanced load ``⌈n_clients/n_servers⌉``.
+    """
+    n_clients = check_positive_int(n_clients, "n_clients")
+    n_servers = check_positive_int(n_servers, "n_servers")
+    locality = check_positive_int(locality, "locality")
+    if locality > n_servers:
+        raise ValueError("locality cannot exceed the number of servers")
+    rng = as_generator(seed)
+    starts = rng.integers(0, n_servers, size=n_clients)
+    offsets = np.arange(locality, dtype=np.int64)
+    ev = ((starts[:, None] + offsets[None, :]) % n_servers).reshape(-1)
+    eu = np.repeat(np.arange(n_clients, dtype=np.int64), locality)
+    eu, ev = _dedupe(n_clients, n_servers, eu, ev)
+    graph = build_graph(n_clients, n_servers, eu, ev)
+    if server_capacity is None:
+        server_capacity = max(1, math.ceil(n_clients / n_servers))
+    caps = uniform_capacities(graph, server_capacity)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=locality,
+        name=f"loadbal(c={n_clients},s={n_servers},d={locality})",
+        metadata={"family": "load_balancing", "n_clients": n_clients,
+                  "n_servers": n_servers, "locality": locality,
+                  "server_capacity": server_capacity},
+    )
+
+
+def adwords_instance(
+    n_impressions: int,
+    n_advertisers: int,
+    *,
+    mean_degree: int = 4,
+    budget_exponent: float = 2.0,
+    seed=None,
+) -> AllocationInstance:
+    """Online-ads allocation workload: power-law advertiser popularity
+    with Zipf budgets (capacities).  A named convenience wrapper around
+    :func:`power_law_instance` + :func:`zipf_capacities`."""
+    streams = spawn(seed, 2)
+    inst = power_law_instance(
+        n_impressions,
+        n_advertisers,
+        mean_left_degree=mean_degree,
+        capacity=1,
+        seed=streams[0],
+    )
+    caps = zipf_capacities(inst.graph, exponent=budget_exponent,
+                           maximum=max(2, n_impressions // 4), seed=streams[1])
+    return AllocationInstance(
+        graph=inst.graph,
+        capacities=caps,
+        arboricity_upper_bound=None,
+        name=f"adwords(n={n_impressions}+{n_advertisers})",
+        metadata={"family": "adwords", "n_impressions": n_impressions,
+                  "n_advertisers": n_advertisers, "mean_degree": mean_degree,
+                  "budget_exponent": budget_exponent},
+    )
+
+
+def _capacity_profile(graph: BipartiteGraph, capacity: int | str, seed) -> np.ndarray:
+    """Resolve the ``capacity`` shorthand used by the generators."""
+    if isinstance(capacity, str):
+        if capacity == "degree":
+            return degree_proportional_capacities(graph)
+        if capacity == "unit":
+            return unit_capacities(graph)
+        if capacity == "zipf":
+            return zipf_capacities(graph, seed=seed)
+        raise ValueError(f"unknown capacity profile {capacity!r}")
+    return uniform_capacities(graph, capacity)
+
+
+# Registry used by the experiment harness to sweep families uniformly.
+FAMILY_BUILDERS: dict[str, Callable[..., AllocationInstance]] = {
+    "union_of_forests": union_of_forests,
+    "star": star_instance,
+    "double_star": double_star_instance,
+    "complete_bipartite": complete_bipartite_instance,
+    "erdos_renyi": erdos_renyi_instance,
+    "power_law": power_law_instance,
+    "regular": regular_instance,
+    "grid": grid_instance,
+    "cycle": cycle_instance,
+    "planted_dense_core": planted_dense_core_instance,
+    "slow_spread": slow_spread_instance,
+    "load_balancing": load_balancing_instance,
+    "adwords": adwords_instance,
+}

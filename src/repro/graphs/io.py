@@ -1,0 +1,112 @@
+"""Serialization of allocation instances.
+
+Two formats:
+
+* **edge-list text** — ``n_left n_right`` header, one ``u v`` pair per
+  line, then a ``#capacities`` section; human-diffable, the format the
+  examples ship sample data in.
+* **JSON** — instance + metadata round trip (used by the experiment
+  harness to persist generated workloads next to result dumps so runs
+  are re-checkable).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph, build_graph
+from repro.graphs.instances import AllocationInstance
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "instance_to_json",
+    "instance_from_json",
+    "save_instance",
+    "load_instance",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(instance: AllocationInstance, stream: TextIO) -> None:
+    """Write the text format to an open stream."""
+    g = instance.graph
+    stream.write(f"{g.n_left} {g.n_right} {g.n_edges}\n")
+    for u, v in zip(g.edge_u.tolist(), g.edge_v.tolist()):
+        stream.write(f"{u} {v}\n")
+    stream.write("#capacities\n")
+    stream.write(" ".join(str(int(c)) for c in instance.capacities.tolist()))
+    stream.write("\n")
+
+
+def read_edge_list(stream: TextIO, name: str = "from_edge_list") -> AllocationInstance:
+    """Parse the text format from an open stream."""
+    header = stream.readline().split()
+    if len(header) != 3:
+        raise ValueError("edge-list header must be 'n_left n_right m'")
+    n_left, n_right, m = (int(x) for x in header)
+    eu = np.empty(m, dtype=np.int64)
+    ev = np.empty(m, dtype=np.int64)
+    for i in range(m):
+        parts = stream.readline().split()
+        if len(parts) != 2:
+            raise ValueError(f"edge line {i} malformed: {parts!r}")
+        eu[i], ev[i] = int(parts[0]), int(parts[1])
+    marker = stream.readline().strip()
+    if marker != "#capacities":
+        raise ValueError(f"expected '#capacities' marker, got {marker!r}")
+    caps = np.asarray([int(x) for x in stream.readline().split()], dtype=np.int64)
+    graph = build_graph(n_left, n_right, eu, ev)
+    return AllocationInstance(graph=graph, capacities=caps, name=name)
+
+
+def instance_to_json(instance: AllocationInstance) -> str:
+    """JSON string with full provenance."""
+    g = instance.graph
+    return json.dumps(
+        {
+            "format": "repro-allocation-instance-v1",
+            "name": instance.name,
+            "n_left": g.n_left,
+            "n_right": g.n_right,
+            "edge_u": g.edge_u.tolist(),
+            "edge_v": g.edge_v.tolist(),
+            "capacities": instance.capacities.tolist(),
+            "arboricity_upper_bound": instance.arboricity_upper_bound,
+            "metadata": instance.metadata,
+        }
+    )
+
+
+def instance_from_json(text: str) -> AllocationInstance:
+    """Inverse of :func:`instance_to_json`."""
+    data = json.loads(text)
+    if data.get("format") != "repro-allocation-instance-v1":
+        raise ValueError(f"unrecognized instance format: {data.get('format')!r}")
+    graph = build_graph(
+        data["n_left"], data["n_right"],
+        np.asarray(data["edge_u"], dtype=np.int64),
+        np.asarray(data["edge_v"], dtype=np.int64),
+    )
+    return AllocationInstance(
+        graph=graph,
+        capacities=np.asarray(data["capacities"], dtype=np.int64),
+        arboricity_upper_bound=data.get("arboricity_upper_bound"),
+        name=data.get("name", "from_json"),
+        metadata=data.get("metadata", {}),
+    )
+
+
+def save_instance(instance: AllocationInstance, path: PathLike) -> None:
+    """Persist as JSON (suffix-agnostic)."""
+    Path(path).write_text(instance_to_json(instance))
+
+
+def load_instance(path: PathLike) -> AllocationInstance:
+    """Load a JSON instance file."""
+    return instance_from_json(Path(path).read_text())

@@ -1,0 +1,210 @@
+"""Structural statistics of allocation instances.
+
+Experiment tables and the CLI's ``info`` command report these so that
+every workload is characterized by the quantities the paper's bounds
+actually depend on: arboricity proxies (degeneracy, density), degree
+profiles, and component structure.  All pure functions of the graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.arboricity import core_numbers
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "DegreeProfile",
+    "degree_profile",
+    "connected_components",
+    "component_sizes",
+    "bfs_eccentricity",
+    "diameter_lower_bound",
+    "InstanceProfile",
+    "profile_graph",
+]
+
+
+@dataclass(frozen=True)
+class DegreeProfile:
+    """Summary of one side's degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    isolated: int
+
+    @staticmethod
+    def from_degrees(degrees: np.ndarray) -> "DegreeProfile":
+        if degrees.size == 0:
+            return DegreeProfile(0, 0, 0.0, 0.0, 0)
+        return DegreeProfile(
+            minimum=int(degrees.min()),
+            maximum=int(degrees.max()),
+            mean=float(degrees.mean()),
+            median=float(np.median(degrees)),
+            isolated=int((degrees == 0).sum()),
+        )
+
+
+def degree_profile(graph: BipartiteGraph) -> tuple[DegreeProfile, DegreeProfile]:
+    """``(left, right)`` degree profiles."""
+    return (
+        DegreeProfile.from_degrees(graph.left_degrees),
+        DegreeProfile.from_degrees(graph.right_degrees),
+    )
+
+
+def _merged_adjacency(graph: BipartiteGraph) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency over merged vertex ids (vectorized build)."""
+    ea, eb = graph.undirected_edges()
+    n = graph.n_vertices
+    src = np.concatenate([ea, eb])
+    dst = np.concatenate([eb, ea])
+    order = np.argsort(src, kind="stable")
+    adj = dst[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, adj
+
+
+def connected_components(graph: BipartiteGraph) -> np.ndarray:
+    """Component label per merged vertex (BFS; labels are 0-based)."""
+    n = graph.n_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    indptr, adj = _merged_adjacency(graph)
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = current
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in adj[indptr[v] : indptr[v + 1]].tolist():
+                if labels[w] < 0:
+                    labels[w] = current
+                    queue.append(w)
+        current += 1
+    return labels
+
+
+def component_sizes(graph: BipartiteGraph) -> np.ndarray:
+    """Sizes of connected components, descending."""
+    labels = connected_components(graph)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    return np.sort(sizes)[::-1]
+
+
+def bfs_eccentricity(graph: BipartiteGraph, start_merged: int) -> int:
+    """Largest BFS distance reachable from ``start_merged``."""
+    indptr, adj = _merged_adjacency(graph)
+    dist = {start_merged: 0}
+    queue = deque([start_merged])
+    ecc = 0
+    while queue:
+        v = queue.popleft()
+        for w in adj[indptr[v] : indptr[v + 1]].tolist():
+            if w not in dist:
+                dist[w] = dist[v] + 1
+                ecc = max(ecc, dist[w])
+                queue.append(w)
+    return ecc
+
+
+def diameter_lower_bound(graph: BipartiteGraph, *, sweeps: int = 2) -> int:
+    """Double-sweep BFS lower bound on the diameter.
+
+    Relevant context for LOCAL results: any problem is trivially
+    solvable in diameter rounds (§2.2), so the interesting regime for
+    the paper's bounds is `log λ ≪ diameter`.
+    """
+    if graph.n_vertices == 0 or graph.n_edges == 0:
+        return 0
+    start = int(graph.edge_u[0])
+    best = 0
+    indptr, adj = _merged_adjacency(graph)
+    for _ in range(max(1, sweeps)):
+        dist = {start: 0}
+        queue = deque([start])
+        far, far_d = start, 0
+        while queue:
+            v = queue.popleft()
+            for w in adj[indptr[v] : indptr[v + 1]].tolist():
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    if dist[w] > far_d:
+                        far, far_d = w, dist[w]
+                    queue.append(w)
+        best = max(best, far_d)
+        start = far
+    return best
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Everything the experiment tables/CLI report about a graph."""
+
+    n_left: int
+    n_right: int
+    m: int
+    left_degrees: DegreeProfile
+    right_degrees: DegreeProfile
+    degeneracy: int
+    density_ceiling: int          # ⌈m/(n−1)⌉ — the Nash–Williams floor
+    n_components: int
+    largest_component: int
+    diameter_lower_bound: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n_left": self.n_left,
+            "n_right": self.n_right,
+            "m": self.m,
+            "left_deg_max": self.left_degrees.maximum,
+            "left_deg_mean": round(self.left_degrees.mean, 3),
+            "right_deg_max": self.right_degrees.maximum,
+            "right_deg_mean": round(self.right_degrees.mean, 3),
+            "degeneracy": self.degeneracy,
+            "density_ceiling": self.density_ceiling,
+            "n_components": self.n_components,
+            "largest_component": self.largest_component,
+            "diameter_lb": self.diameter_lower_bound,
+        }
+
+
+def profile_graph(graph: BipartiteGraph) -> InstanceProfile:
+    """Compute the full structural profile (O(m) + BFS sweeps)."""
+    left, right = degree_profile(graph)
+    sizes = component_sizes(graph)
+    ea, eb = graph.undirected_edges()
+    if graph.n_edges:
+        cores = core_numbers(graph.n_vertices, ea, eb)
+        degen = int(cores.max())
+    else:
+        degen = 0
+    density = (
+        -(-graph.n_edges // max(1, graph.n_vertices - 1)) if graph.n_edges else 0
+    )
+    return InstanceProfile(
+        n_left=graph.n_left,
+        n_right=graph.n_right,
+        m=graph.n_edges,
+        left_degrees=left,
+        right_degrees=right,
+        degeneracy=degen,
+        density_ceiling=density,
+        n_components=int(sizes.size),
+        largest_component=int(sizes[0]) if sizes.size else 0,
+        diameter_lower_bound=diameter_lower_bound(graph),
+    )

@@ -1,0 +1,105 @@
+"""The vertex-splitting reduction from allocation to matching (§1.1).
+
+The classical reduction replaces each right vertex ``v`` by ``C_v``
+copies, each adjacent to all of ``N(v)``; a maximum matching of the
+split graph corresponds to a maximum allocation of the original.  The
+paper's Remark after Theorem 2 observes that this reduction can blow
+arboricity up from 1 to Θ(n) (a star whose center has capacity ``n−1``
+becomes a complete bipartite graph), which is precisely why the paper
+analyses the allocation problem directly.  Experiment E9 reproduces
+that blow-up quantitatively with this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph, build_graph
+from repro.graphs.capacities import validate_capacities
+from repro.graphs.instances import AllocationInstance
+
+__all__ = ["SplitGraph", "split_to_matching_instance", "lift_matching"]
+
+
+@dataclass(frozen=True)
+class SplitGraph:
+    """Result of the splitting reduction.
+
+    ``graph`` is the matching instance (all capacities implicitly 1);
+    ``copy_owner[j]`` maps split right vertex ``j`` back to the original
+    right vertex it is a copy of.
+    """
+
+    graph: BipartiteGraph
+    copy_owner: np.ndarray
+
+    @property
+    def n_copies(self) -> int:
+        return int(self.copy_owner.shape[0])
+
+
+def split_to_matching_instance(
+    graph: BipartiteGraph, capacities: np.ndarray, *, max_edges: int | None = None
+) -> SplitGraph:
+    """Build the split graph: ``C_v`` copies of each ``v ∈ R``.
+
+    The edge count is ``Σ_v C_v · deg(v)``, which can be Θ(n²) (the
+    point of the remark); ``max_edges`` guards against accidentally
+    materializing something huge — exceeding it raises ``ValueError``
+    with the would-be size, which E9 reports directly.
+    """
+    caps = validate_capacities(graph, capacities)
+    total_edges = int(np.sum(caps[graph.edge_v]))
+    if max_edges is not None and total_edges > max_edges:
+        raise ValueError(
+            f"split graph would have {total_edges} edges (> max_edges={max_edges})"
+        )
+    copy_offset = np.zeros(graph.n_right + 1, dtype=np.int64)
+    np.cumsum(caps, out=copy_offset[1:])
+    n_copies = int(copy_offset[-1])
+    copy_owner = np.repeat(np.arange(graph.n_right, dtype=np.int64), caps)
+
+    # Each original edge (u, v) fans out to (u, copy) for every copy of v.
+    reps = caps[graph.edge_v]
+    eu = np.repeat(graph.edge_u, reps)
+    base = np.repeat(copy_offset[graph.edge_v], reps)
+    # Within each original edge's block, enumerate the copies 0..C_v-1.
+    block_pos = np.arange(total_edges, dtype=np.int64) - np.repeat(
+        np.concatenate([[0], np.cumsum(reps)[:-1]]).astype(np.int64), reps
+    )
+    ev = base + block_pos
+    split = build_graph(graph.n_left, n_copies, eu, ev)
+    return SplitGraph(graph=split, copy_owner=copy_owner)
+
+
+def lift_matching(
+    original: BipartiteGraph, split: SplitGraph, split_edge_mask: np.ndarray
+) -> np.ndarray:
+    """Map a matching of the split graph back to an allocation edge mask.
+
+    Several copies of ``v`` may be matched to distinct ``u``s; each
+    lifts to the original edge ``(u, v)``.  Distinct split edges cannot
+    lift to the same original edge *in a matching* (that would need the
+    same ``u`` matched twice), so the lift is injective.
+    """
+    split_edge_mask = np.asarray(split_edge_mask, dtype=bool)
+    if split_edge_mask.shape != (split.graph.n_edges,):
+        raise ValueError("mask shape does not match the split graph")
+    ids = np.nonzero(split_edge_mask)[0]
+    us = split.graph.edge_u[ids]
+    vs = split.copy_owner[split.graph.edge_v[ids]]
+    # Locate (u, v) in the original canonical edge order via search.
+    mask = np.zeros(original.n_edges, dtype=bool)
+    for u, v in zip(us.tolist(), vs.tolist()):
+        row_start = original.left_indptr[u]
+        row = original.left_neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        if pos >= row.shape[0] or row[pos] != v:
+            raise ValueError(f"split edge lifts to non-edge ({u}, {v})")
+        eid = int(original.left_edge[row_start + pos])
+        if mask[eid]:
+            raise ValueError(f"two split edges lift to the same original edge ({u}, {v})")
+        mask[eid] = True
+    return mask

@@ -1,0 +1,24 @@
+"""LOCAL-model substrate: synchronous message-passing simulation.
+
+:class:`LocalEngine` provides exact LOCAL semantics (delayed delivery,
+edge-only communication, per-round accounting); the allocation vertex
+program renders Algorithm 1 at message granularity as the reference
+against which the vectorized solver is validated.
+"""
+
+from repro.local.engine import LocalAlgorithm, LocalEngine, EngineStats, Message
+from repro.local.allocation_vertex import (
+    ProportionalVertexProgram,
+    run_local_proportional,
+    merged_neighbors,
+)
+
+__all__ = [
+    "LocalAlgorithm",
+    "LocalEngine",
+    "EngineStats",
+    "Message",
+    "ProportionalVertexProgram",
+    "run_local_proportional",
+    "merged_neighbors",
+]

@@ -1,0 +1,156 @@
+"""Algorithm 1 as a per-vertex LOCAL program.
+
+This is the message-level rendering of the proportional dynamics: each
+Algorithm-1 round costs two LOCAL communication rounds,
+
+* an **odd** engine round in which every right vertex's β (as an
+  integer exponent) travels to its left neighbours, and
+* an **even** engine round in which every left vertex returns the
+  fractional value ``x_{u,v}`` it assigns to each neighbour, after
+  which right vertices aggregate ``alloc_v`` and move β one ε-step.
+
+Engine round 0 is the initial β broadcast, so τ Algorithm-1 rounds run
+in exactly ``2τ + 1`` engine rounds — the constant-factor LOCAL cost
+the paper's round statements absorb.
+
+Purpose: executable reference semantics.  The integration tests drive
+this program and the vectorized :class:`ProportionalRun` side by side
+and require bit-identical β trajectories (both use the same integer
+exponent representation, and x values agree to float tolerance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.local.engine import LocalAlgorithm, LocalEngine, Message
+from repro.utils.validation import check_fraction
+
+__all__ = ["ProportionalVertexProgram", "run_local_proportional", "merged_neighbors"]
+
+
+@dataclass
+class _LeftState:
+    x_by_neighbor: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class _RightState:
+    beta_exp: int = 0
+    alloc: float = 0.0
+    capacity: int = 1
+
+
+class ProportionalVertexProgram(LocalAlgorithm):
+    """The two-half-round message protocol described in the module doc.
+
+    Vertex ids follow the merged space: left vertex ``u`` is ``u``,
+    right vertex ``v`` is ``n_left + v``.
+    """
+
+    def __init__(self, graph: BipartiteGraph, capacities: np.ndarray, epsilon: float):
+        self.graph = graph
+        self.capacities = capacities
+        self.epsilon = check_fraction(epsilon, "epsilon")
+        self.n_left = graph.n_left
+
+    def setup(self, vertex: int, engine: LocalEngine) -> Any:
+        if vertex < self.n_left:
+            return _LeftState()
+        v = vertex - self.n_left
+        return _RightState(beta_exp=0, capacity=int(self.capacities[v]))
+
+    def round(
+        self,
+        vertex: int,
+        state: Any,
+        inbox: Sequence[Message],
+        round_index: int,
+        engine: LocalEngine,
+    ) -> Sequence[tuple[int, Any]]:
+        is_left = vertex < self.n_left
+        if round_index % 2 == 0:
+            # Even half-round: right vertices first fold in the x values
+            # delivered this round (line 3-4 of Algorithm 1), then
+            # re-broadcast their (possibly updated) priority.
+            if is_left:
+                return []
+            if round_index > 0:
+                self._aggregate_right(state, inbox)
+            return [(int(w), ("beta", state.beta_exp)) for w in engine.neighbors(vertex)]
+        # Odd half-round: left vertices split their unit mass (line 2).
+        if is_left:
+            betas = {msg.src: msg.payload[1] for msg in inbox if msg.payload[0] == "beta"}
+            if not betas:
+                return []
+            # Same max-shifted computation as the vectorized path, so
+            # the two implementations agree bit-for-bit on decisions.
+            max_exp = max(betas.values())
+            weights = {
+                w: math.exp((b - max_exp) * math.log1p(self.epsilon))
+                for w, b in betas.items()
+            }
+            denom = sum(weights.values())
+            state.x_by_neighbor = {w: wt / denom for w, wt in weights.items()}
+            return [(w, ("x", xv)) for w, xv in state.x_by_neighbor.items()]
+        # Right vertices are silent in odd half-rounds.
+        return []
+
+    def _aggregate_right(self, state: _RightState, inbox: Sequence[Message]) -> None:
+        """Lines 3-4 of Algorithm 1 at one right vertex."""
+        alloc = 0.0
+        for msg in inbox:
+            kind, value = msg.payload
+            if kind == "x":
+                alloc += value
+        state.alloc = alloc
+        cap = float(state.capacity)
+        if alloc <= cap / (1.0 + self.epsilon):
+            state.beta_exp += 1
+        elif alloc >= cap * (1.0 + self.epsilon):
+            state.beta_exp -= 1
+
+
+def merged_neighbors(graph: BipartiteGraph):
+    """Neighbour function over the merged vertex space ``L ⊎ R``."""
+
+    def neighbors(vertex: int) -> np.ndarray:
+        if vertex < graph.n_left:
+            return graph.left_neighbors(vertex) + graph.n_left
+        return graph.right_neighbors(vertex - graph.n_left)
+
+    return neighbors
+
+
+def run_local_proportional(
+    graph: BipartiteGraph,
+    capacities: np.ndarray,
+    epsilon: float,
+    tau: int,
+) -> tuple[np.ndarray, np.ndarray, "LocalEngine"]:
+    """Run τ Algorithm-1 rounds through the message-passing engine.
+
+    Returns ``(beta_exp, alloc, engine)`` where the arrays mirror the
+    vectorized :class:`ProportionalRun` state after ``tau`` rounds.
+    """
+    if tau < 1:
+        raise ValueError("tau must be >= 1")
+    program = ProportionalVertexProgram(graph, capacities, epsilon)
+    engine = LocalEngine(graph.n_vertices, merged_neighbors(graph))
+    engine.attach(program)
+    # Engine rounds: 0 (broadcast), then τ pairs of (x, aggregate+broadcast).
+    engine.run(2 * tau + 1)
+    beta_exp = np.asarray(
+        [engine.state_of(graph.n_left + v).beta_exp for v in range(graph.n_right)],
+        dtype=np.int64,
+    )
+    alloc = np.asarray(
+        [engine.state_of(graph.n_left + v).alloc for v in range(graph.n_right)],
+        dtype=np.float64,
+    )
+    return beta_exp, alloc, engine

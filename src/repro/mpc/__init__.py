@@ -1,0 +1,45 @@
+"""MPC-model substrate: accounted machines, primitives, exponentiation.
+
+:class:`MPCCluster` enforces the sublinear-regime constraints (``S``
+words per machine, ``S`` words sent/received per round) and keeps the
+round ledger that E5 compares against :class:`MPCCostModel`'s
+closed-form predictions.
+"""
+
+from repro.mpc.machine import Machine, SpaceViolation, sizeof_words
+from repro.mpc.cluster import MPCCluster, RoundLog, cluster_for
+from repro.mpc.primitives import (
+    fan_out,
+    tree_depth,
+    route_by_key,
+    tree_broadcast,
+    tree_reduce,
+    sample_sort,
+)
+from repro.mpc.exponentiation import collect_balls, expected_doubling_rounds
+from repro.mpc.costmodel import MPCCostModel, PhaseCost
+from repro.mpc.simulation import (
+    DirectSimulationResult,
+    simulate_local_rounds_on_cluster,
+)
+
+__all__ = [
+    "Machine",
+    "SpaceViolation",
+    "sizeof_words",
+    "MPCCluster",
+    "RoundLog",
+    "cluster_for",
+    "fan_out",
+    "tree_depth",
+    "route_by_key",
+    "tree_broadcast",
+    "tree_reduce",
+    "sample_sort",
+    "collect_balls",
+    "expected_doubling_rounds",
+    "MPCCostModel",
+    "PhaseCost",
+    "DirectSimulationResult",
+    "simulate_local_rounds_on_cluster",
+]

@@ -1,0 +1,191 @@
+"""Graph exponentiation on the MPC cluster (LW10 / GU19).
+
+To simulate ``B`` LOCAL rounds in one machine-local step, every vertex
+must hold its radius-``B`` ball of the (sparsified) communication
+graph.  Graph exponentiation collects those balls by doubling: after
+iteration ``i`` every vertex knows its radius-``2^i`` ball; joining
+each vertex's ball with the balls of its frontier vertices doubles the
+radius.  ``⌈log₂ B⌉`` joins suffice — the ``log B`` factor inside
+Theorem 10's ``O(√log λ · log log λ)``.
+
+Representation: per-vertex ball records ``("ball", v, edges)`` where
+``edges`` is a sorted tuple of ``(a, b)`` pairs.  The join is executed
+as two accounted exchanges per doubling (request shipping + response
+shipping), which is the standard constant-round join implementation.
+
+This is the faithful-mode path; it is exercised on small sparsified
+graphs where ball volume ``d^B`` fits in a machine (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+from repro.mpc.cluster import MPCCluster
+
+__all__ = ["collect_balls", "ball_vertices", "expected_doubling_rounds"]
+
+BALL_TAG = "ball"
+
+
+def expected_doubling_rounds(radius: int) -> int:
+    """Number of doubling joins to reach ``radius``: ``⌈log₂ radius⌉``
+    (each join is 2 exchange rounds in this implementation)."""
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    return max(0, math.ceil(math.log2(radius)))
+
+
+def ball_vertices(edges: Iterable[tuple[int, int]], center: int) -> set[int]:
+    """Vertex set of a ball record (center always included)."""
+    verts = {center}
+    for a, b in edges:
+        verts.add(a)
+        verts.add(b)
+    return verts
+
+
+def _frontier(edges: tuple[tuple[int, int], ...], center: int, radius: int) -> set[int]:
+    """Vertices at distance exactly ``radius`` inside the ball edges."""
+    adj: dict[int, set[int]] = defaultdict(set)
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    dist = {center: 0}
+    frontier = {center}
+    for d in range(1, radius + 1):
+        nxt = set()
+        for v in frontier:
+            for w in adj[v]:
+                if w not in dist:
+                    dist[w] = d
+                    nxt.add(w)
+        frontier = nxt
+    return {v for v, d in dist.items() if d == radius}
+
+
+def _truncate(edges: set[tuple[int, int]], center: int, radius: int) -> tuple[tuple[int, int], ...]:
+    """Keep only edges on paths of length ≤ radius from the center."""
+    adj: dict[int, set[int]] = defaultdict(set)
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    dist = {center: 0}
+    frontier = {center}
+    d = 0
+    while frontier and d < radius:
+        d += 1
+        nxt = set()
+        for v in frontier:
+            for w in adj[v]:
+                if w not in dist:
+                    dist[w] = d
+                    nxt.add(w)
+        frontier = nxt
+    kept = tuple(
+        sorted(
+            (a, b)
+            for a, b in edges
+            if a in dist and b in dist and min(dist[a], dist[b]) <= radius - 1
+        )
+    )
+    return kept
+
+
+def collect_balls(
+    cluster: MPCCluster,
+    n_vertices: int,
+    edge_list: list[tuple[int, int]],
+    radius: int,
+    *,
+    owner_of_vertex=None,
+) -> tuple[dict[int, tuple[tuple[int, int], ...]], int]:
+    """Collect the radius-``radius`` ball of every vertex.
+
+    The cluster is loaded with radius-1 balls (each vertex's incident
+    edges), then doubled ``⌈log₂ radius⌉`` times.  Each doubling costs
+    two exchange rounds: frontier-keyed requests, then ball responses.
+
+    Returns ``(balls, rounds_used)`` with ``balls[v]`` an edge tuple.
+    ``owner_of_vertex`` overrides the vertex→machine placement (default
+    ``v mod M``).
+    """
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    n_machines = cluster.n_machines
+    owner = owner_of_vertex or (lambda v: v % n_machines)
+
+    # Radius-1 balls from the raw edges (input loading, costs no rounds).
+    incident: dict[int, set[tuple[int, int]]] = defaultdict(set)
+    for a, b in edge_list:
+        incident[a].add((a, b))
+        incident[b].add((a, b))
+    records = [
+        (BALL_TAG, v, tuple(sorted(incident.get(v, set()))))
+        for v in range(n_vertices)
+    ]
+    cluster.load(records, by=lambda rec: owner(rec[1]))
+
+    rounds_used = 0
+    current_radius = 1
+    while current_radius < radius:
+        target = min(radius, 2 * current_radius)
+        cur = current_radius
+
+        # Exchange A: every center asks the owners of its frontier
+        # vertices for their balls: request = (req, frontier_vertex,
+        # center).  Balls persist in place.
+        def request_mapper(mid: int, recs: list):
+            for rec in recs:
+                if rec[0] == BALL_TAG:
+                    _, center, edges = rec
+                    for w in _frontier(edges, center, cur):
+                        if w != center:
+                            yield owner(w), ("req", w, center)
+                    yield mid, rec
+                else:
+                    yield mid, rec
+
+        cluster.exchange(request_mapper, label="exponentiation/request")
+        rounds_used += 1
+
+        # Exchange B: owners answer with ("resp", center, edges);
+        # requests are consumed.
+        def response_mapper(mid: int, recs: list):
+            local_balls = {rec[1]: rec[2] for rec in recs if rec[0] == BALL_TAG}
+            for rec in recs:
+                if rec[0] == BALL_TAG:
+                    yield mid, rec
+                elif rec[0] == "req":
+                    _, w, center = rec
+                    yield owner(center), ("resp", center, local_balls.get(w, ()))
+
+        cluster.exchange(response_mapper, label="exponentiation/response")
+        rounds_used += 1
+
+        # Local merge: centers union the responses into their ball and
+        # truncate to the target radius (free in-round computation).
+        for m in cluster.machines:
+            balls: dict[int, set[tuple[int, int]]] = {}
+            extras: dict[int, list[tuple[tuple[int, int], ...]]] = defaultdict(list)
+            for rec in m.storage:
+                if rec[0] == BALL_TAG:
+                    balls[rec[1]] = set(rec[2])
+                elif rec[0] == "resp":
+                    extras[rec[1]].append(rec[2])
+            m.clear()
+            for center, edges in balls.items():
+                for extra in extras.get(center, []):
+                    edges.update(extra)
+                m.store((BALL_TAG, center, _truncate(edges, center, target)))
+        current_radius = target
+
+    out: dict[int, tuple[tuple[int, int], ...]] = {}
+    for rec in cluster.all_records():
+        if rec[0] == BALL_TAG:
+            out[rec[1]] = rec[2]
+    return out, rounds_used

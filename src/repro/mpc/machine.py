@@ -1,0 +1,98 @@
+"""A single MPC machine: bounded storage measured in words.
+
+The MPC model (§2.3) charges space in *words*; a word holds an id or a
+number.  :func:`sizeof_words` prices the record tuples the simulator
+ships around — ints/floats are one word each, containers cost the sum
+of their elements — so per-machine budgets ``S = n^α`` are enforced on
+the same unit the theorems use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["sizeof_words", "Machine", "SpaceViolation"]
+
+
+def sizeof_words(record: Any) -> int:
+    """Word cost of a record: scalars are 1; containers are the sum of
+    their items; strings cost 1 (tags/labels)."""
+    if record is None or isinstance(record, (bool, int, float, str)):
+        return 1
+    if isinstance(record, (tuple, list)):
+        return sum(sizeof_words(item) for item in record)
+    if isinstance(record, dict):
+        return sum(sizeof_words(k) + sizeof_words(v) for k, v in record.items())
+    # numpy scalars
+    if hasattr(record, "item") and not hasattr(record, "__len__"):
+        return 1
+    if hasattr(record, "__len__"):
+        return sum(sizeof_words(item) for item in record)
+    raise TypeError(f"cannot price record of type {type(record).__name__}")
+
+
+class SpaceViolation(RuntimeError):
+    """A machine exceeded its word budget (storage or traffic)."""
+
+
+@dataclass
+class Machine:
+    """Storage plus bookkeeping for one machine."""
+
+    machine_id: int
+    capacity_words: int
+    storage: list[Any] = field(default_factory=list)
+    stored_words: int = 0
+    peak_stored_words: int = 0
+    sent_words_this_round: int = 0
+    received_words_this_round: int = 0
+    peak_traffic_words: int = 0
+
+    def store(self, record: Any) -> None:
+        self.storage.append(record)
+        self.stored_words += sizeof_words(record)
+        self.peak_stored_words = max(self.peak_stored_words, self.stored_words)
+
+    def clear(self) -> list[Any]:
+        """Drop and return all records (start of a map step)."""
+        out = self.storage
+        self.storage = []
+        self.stored_words = 0
+        return out
+
+    def begin_round(self) -> None:
+        self.sent_words_this_round = 0
+        self.received_words_this_round = 0
+
+    def account_send(self, words: int) -> None:
+        self.sent_words_this_round += words
+        self.peak_traffic_words = max(self.peak_traffic_words, self.sent_words_this_round)
+
+    def account_receive(self, words: int) -> None:
+        self.received_words_this_round += words
+        self.peak_traffic_words = max(
+            self.peak_traffic_words, self.received_words_this_round
+        )
+
+    def check_budget(self, *, strict: bool) -> list[str]:
+        """Return human-readable violations; raise when ``strict``."""
+        problems: list[str] = []
+        if self.stored_words > self.capacity_words:
+            problems.append(
+                f"machine {self.machine_id}: stored {self.stored_words} words "
+                f"> capacity {self.capacity_words}"
+            )
+        if self.sent_words_this_round > self.capacity_words:
+            problems.append(
+                f"machine {self.machine_id}: sent {self.sent_words_this_round} words "
+                f"in one round > capacity {self.capacity_words}"
+            )
+        if self.received_words_this_round > self.capacity_words:
+            problems.append(
+                f"machine {self.machine_id}: received {self.received_words_this_round} "
+                f"words in one round > capacity {self.capacity_words}"
+            )
+        if strict and problems:
+            raise SpaceViolation("; ".join(problems))
+        return problems

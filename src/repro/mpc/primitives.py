@@ -1,0 +1,287 @@
+"""Standard MPC primitives, with explicit round costs.
+
+The paper's §5 leans on "standard primitives such as graph
+exponentiation and sorting, which are by now standard in the MPC
+literature".  This module implements them on the accounted cluster:
+
+* :func:`route_by_key` — hash-partition records; **1 round**.
+* :func:`tree_broadcast` — send a small payload to every machine along
+  a fan-out-``f`` tree; **⌈log_f M⌉ rounds** (``f`` derived from the
+  word budget).
+* :func:`tree_reduce` — aggregate per-machine values to machine 0 up
+  the same tree; **⌈log_f M⌉ rounds**.
+* :func:`sample_sort` — TeraSort-style splitter sort; **3 rounds +
+  one broadcast**.
+
+Every primitive runs through :meth:`MPCCluster.exchange`, so space and
+traffic budgets are enforced and round counts accumulate in the
+cluster's ledger — the numbers E5 compares against the theory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.mpc.cluster import MPCCluster
+from repro.mpc.machine import sizeof_words
+
+__all__ = [
+    "fan_out",
+    "tree_depth",
+    "route_by_key",
+    "tree_broadcast",
+    "tree_reduce",
+    "sample_sort",
+]
+
+
+def fan_out(cluster: MPCCluster, payload_words: int) -> int:
+    """Largest tree fan-out the word budget allows: a machine relaying
+    a ``payload_words`` message to ``f`` children sends ``f·payload``
+    words, which must fit in ``S``."""
+    if payload_words < 1:
+        raise ValueError("payload_words must be >= 1")
+    return max(2, cluster.words_per_machine // payload_words)
+
+
+def tree_depth(n_machines: int, f: int) -> int:
+    """Rounds for a fan-out-``f`` tree over ``n_machines`` machines."""
+    if n_machines <= 1:
+        return 1
+    return max(1, math.ceil(math.log(n_machines) / math.log(f)))
+
+
+def route_by_key(
+    cluster: MPCCluster,
+    key_fn: Callable[[Any], int],
+    *,
+    label: str = "route_by_key",
+) -> None:
+    """Move every record to machine ``key mod M`` (1 round).
+
+    After this round all records sharing a key are co-located, which is
+    the precondition for any per-key local computation (the MPC
+    group-by).
+    """
+    n = cluster.n_machines
+
+    def mapper(mid: int, records: list[Any]):
+        for rec in records:
+            yield int(key_fn(rec)) % n, rec
+
+    cluster.exchange(mapper, label=label)
+
+
+def tree_broadcast(
+    cluster: MPCCluster,
+    payload: Any,
+    *,
+    tag: str = "bcast",
+    label: str = "broadcast",
+) -> int:
+    """Deliver ``(tag, payload)`` to every machine; returns rounds used.
+
+    Machine 0 is the root.  Children of machine ``i`` at fan-out ``f``
+    are ``i·f+1 .. i·f+f`` — the standard implicit tree.
+    """
+    words = sizeof_words(payload) + 1
+    f = fan_out(cluster, words)
+    n = cluster.n_machines
+    rounds = 0
+    # Seed the payload at the root without charging a round (the root
+    # computes it locally).
+    cluster.machines[0].store((tag, payload))
+
+    # Level-by-level push until every machine holds the tagged record.
+    have = {0}
+    while len(have) < n:
+        frontier = set(have)
+
+        def mapper(mid: int, records: list[Any]):
+            for rec in records:
+                if isinstance(rec, tuple) and len(rec) == 2 and rec[0] == tag:
+                    if mid in frontier:
+                        for c in range(mid * f + 1, min(n, mid * f + f + 1)):
+                            if c not in frontier:
+                                yield c, rec
+                yield mid, rec  # everything persists in place
+
+        cluster.exchange(mapper, label=f"{label}/level")
+        rounds += 1
+        new_have = set(frontier)
+        for parent in frontier:
+            for c in range(parent * f + 1, min(n, parent * f + f + 1)):
+                new_have.add(c)
+        have = new_have
+    return max(rounds, 1) if n > 1 else 0
+
+
+def tree_reduce(
+    cluster: MPCCluster,
+    extract: Callable[[Any], Any],
+    combine: Callable[[Any, Any], Any],
+    zero: Any,
+    *,
+    tag: str = "reduce",
+    label: str = "reduce",
+) -> tuple[Any, int]:
+    """Fold ``extract`` over all records up a tree to machine 0.
+
+    Returns ``(total, rounds_used)``.  Partial aggregates travel as
+    ``(tag, value)`` records; original records stay in place.
+    """
+    words = sizeof_words(zero) + 1
+    f = fan_out(cluster, words)
+    n = cluster.n_machines
+    depth = tree_depth(n, f)
+    # Each machine folds its local records once, host-side bookkeeping
+    # tracks which machines still hold partials.
+    level_of = {mid: _tree_level(mid, f) for mid in range(n)}
+    max_level = max(level_of.values())
+    rounds = 0
+
+    def parent(mid: int) -> int:
+        return (mid - 1) // f
+
+    # Local fold: attach partials.
+    for m in cluster.machines:
+        acc = zero
+        for rec in m.storage:
+            if isinstance(rec, tuple) and len(rec) == 2 and rec[0] == tag:
+                continue
+            val = extract(rec)
+            if val is not None:
+                acc = combine(acc, val)
+        m.store((tag, acc))
+
+    current_level = max_level
+    while current_level > 0:
+        lvl = current_level
+
+        def mapper(mid: int, records: list[Any]):
+            for rec in records:
+                if (
+                    isinstance(rec, tuple)
+                    and len(rec) == 2
+                    and rec[0] == tag
+                    and level_of[mid] == lvl
+                ):
+                    yield parent(mid), rec
+                else:
+                    yield mid, rec
+
+        cluster.exchange(mapper, label=f"{label}/level")
+        rounds += 1
+        # Parents merge partials locally (free within-round compute).
+        for m in cluster.machines:
+            partials = [r for r in m.storage if isinstance(r, tuple) and len(r) == 2 and r[0] == tag]
+            if len(partials) > 1:
+                acc = zero
+                keep = [r for r in m.storage if not (isinstance(r, tuple) and len(r) == 2 and r[0] == tag)]
+                for _, val in partials:
+                    acc = combine(acc, val)
+                m.clear()
+                for r in keep:
+                    m.store(r)
+                m.store((tag, acc))
+        current_level -= 1
+
+    # Read the root's partial and strip reduce records everywhere.
+    total = zero
+    for m in cluster.machines:
+        keep = []
+        for rec in m.storage:
+            if isinstance(rec, tuple) and len(rec) == 2 and rec[0] == tag:
+                if m.machine_id == 0:
+                    total = combine(total, rec[1])
+            else:
+                keep.append(rec)
+        m.clear()
+        for rec in keep:
+            m.store(rec)
+    return total, max(rounds, 0)
+
+
+def _tree_level(mid: int, f: int) -> int:
+    level = 0
+    while mid > 0:
+        mid = (mid - 1) // f
+        level += 1
+    return level
+
+
+def sample_sort(
+    cluster: MPCCluster,
+    key_fn: Callable[[Any], Any],
+    *,
+    oversample: int = 8,
+    seed: int = 0,
+    label: str = "sort",
+) -> int:
+    """Globally sort records by key; machine ``i`` ends with the ``i``-th
+    contiguous key range, locally sorted.  Returns rounds used.
+
+    Three exchange rounds (sample collection, routing, settle) plus one
+    splitter broadcast.  Splitters are chosen from per-machine samples
+    gathered at machine 0 — the classical TeraSort scheme.
+    """
+    import random
+
+    n = cluster.n_machines
+    rng = random.Random(seed)
+    sample_tag = "__sort_sample__"
+
+    # Round 1: every machine sends a key sample to machine 0.
+    def sample_mapper(mid: int, records: list[Any]):
+        keys = [key_fn(rec) for rec in records]
+        k = min(len(keys), max(1, oversample))
+        sampled = rng.sample(keys, k) if keys else []
+        for key in sampled:
+            yield 0, (sample_tag, key)
+        for rec in records:
+            yield mid, rec
+
+    cluster.exchange(sample_mapper, label=f"{label}/sample")
+
+    # Machine 0 computes splitters locally.
+    samples = sorted(
+        rec[1]
+        for rec in cluster.machines[0].storage
+        if isinstance(rec, tuple) and len(rec) == 2 and rec[0] == sample_tag
+    )
+    # Strip sample records.
+    keep = [
+        rec
+        for rec in cluster.machines[0].storage
+        if not (isinstance(rec, tuple) and len(rec) == 2 and rec[0] == sample_tag)
+    ]
+    cluster.machines[0].clear()
+    for rec in keep:
+        cluster.machines[0].store(rec)
+
+    if samples:
+        step = max(1, len(samples) // n)
+        splitters = samples[step::step][: n - 1]
+    else:
+        splitters = []
+
+    bcast_rounds = tree_broadcast(cluster, tuple(splitters), tag="__splitters__", label=f"{label}/splitters")
+
+    # Round 3: route records to their bucket.
+    import bisect
+
+    def route_mapper(mid: int, records: list[Any]):
+        for rec in records:
+            if isinstance(rec, tuple) and len(rec) == 2 and rec[0] == "__splitters__":
+                continue  # drop control records
+            bucket = bisect.bisect_right(splitters, key_fn(rec))
+            yield min(bucket, n - 1), rec
+
+    cluster.exchange(route_mapper, label=f"{label}/route")
+
+    # Local sort (free compute).
+    for m in cluster.machines:
+        m.storage.sort(key=key_fn)
+    # sample round + splitter broadcast + routing round
+    return 2 + bcast_rounds

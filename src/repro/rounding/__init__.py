@@ -1,0 +1,23 @@
+"""§6 rounding: fractional → integral allocations."""
+
+from repro.rounding.sampling import (
+    RoundingOutcome,
+    round_once,
+    round_best_of,
+    default_copies,
+    expected_size_lower_bound,
+    SAMPLING_DIVISOR,
+    EXPECTATION_FACTOR,
+)
+from repro.rounding.repair import greedy_fill
+
+__all__ = [
+    "RoundingOutcome",
+    "round_once",
+    "round_best_of",
+    "default_copies",
+    "expected_size_lower_bound",
+    "SAMPLING_DIVISOR",
+    "EXPECTATION_FACTOR",
+    "greedy_fill",
+]

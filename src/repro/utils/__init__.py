@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG management, table rendering, validation.
+
+These helpers carry no algorithmic content; they exist so that every
+module in :mod:`repro` handles randomness, argument validation, and
+result presentation the same way.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn
+from repro.utils.tables import Table, format_markdown, format_ascii
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn",
+    "Table",
+    "format_markdown",
+    "format_ascii",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+]

@@ -1,0 +1,44 @@
+"""Minimal structured logging for long-running experiment drivers.
+
+Benchmarks run under ``pytest-benchmark`` where stdout noise is
+unwelcome; library code therefore logs through the standard
+:mod:`logging` module under the ``repro`` namespace and stays silent
+unless the caller opts in via :func:`enable_progress_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """Fetch the package logger or a named child of it."""
+    name = LOGGER_NAME if child is None else f"{LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+def enable_progress_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the package logger (idempotent)."""
+    logger = get_logger()
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, label: str) -> Iterator[None]:
+    """Log wall-clock duration of a block at DEBUG level."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        logger.debug("%s took %.3fs", label, time.perf_counter() - start)

@@ -1,0 +1,134 @@
+"""Result tables for the experiment harness.
+
+The paper has no tables of its own (it is a theory paper), so the
+experiment suite prints its theorem-vs-measured comparisons through a
+single :class:`Table` abstraction that renders to aligned ASCII (for
+terminals / ``tee``'d benchmark logs) and GitHub-flavoured markdown
+(for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of rows with named columns.
+
+    Rows are dictionaries; missing keys render as ``-``.  Column order
+    follows ``columns`` when given, else first-seen order.
+    """
+
+    title: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Any) -> None:
+        for key in cells:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(dict(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column as a list (``None`` for missing cells)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_ascii(self) -> str:
+        return format_ascii(self)
+
+    def to_markdown(self) -> str:
+        return format_markdown(self)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"title": self.title, "columns": self.columns, "rows": self.rows,
+             "notes": self.notes},
+            indent=2,
+            default=str,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_ascii()
+
+
+def _grid(table: Table) -> tuple[list[str], list[list[str]]]:
+    header = list(table.columns)
+    body = [[_format_cell(row.get(col)) for col in header] for row in table.rows]
+    return header, body
+
+
+def format_ascii(table: Table) -> str:
+    """Render an aligned fixed-width table with a title rule."""
+    header, body = _grid(table)
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * max(len(table.title), len(sep))]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_markdown(table: Table) -> str:
+    """Render GitHub-flavoured markdown."""
+    header, body = _grid(table)
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"_note: {note}_")
+    return "\n".join(lines)
+
+
+def summarize_series(values: Iterable[float]) -> dict[str, float]:
+    """Mean/min/max summary used by repeated-trial experiment rows."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("summarize_series requires at least one value")
+    return {
+        "mean": sum(vals) / len(vals),
+        "min": min(vals),
+        "max": max(vals),
+        "n": len(vals),
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the conventional aggregate for ratio columns."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean requires at least one value")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    log_sum = sum(__import__("math").log(v) for v in vals)
+    return float(__import__("math").exp(log_sum / len(vals)))

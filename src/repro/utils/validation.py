@@ -1,0 +1,76 @@
+"""Argument-validation helpers with consistent error messages.
+
+Validation failures in a research library are most useful when the
+message names the offending parameter and the constraint, so every
+public entry point funnels through these.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_fraction(value: Any, name: str, *, inclusive_high: float = 1.0) -> float:
+    """Validate ``0 < value <= inclusive_high`` (an ε-like parameter)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if not (0.0 < value <= inclusive_high):
+        raise ValueError(f"{name} must lie in (0, {inclusive_high}], got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate ``0 <= value <= 1``."""
+    value = float(value)
+    if not np.isfinite(value) or not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: Any, name: str, low: float, high: float) -> float:
+    """Validate ``low <= value <= high``."""
+    value = float(value)
+    if not np.isfinite(value) or not (low <= value <= high):
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+def check_array_shape(arr: np.ndarray, name: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate that ``arr`` has exactly ``shape``."""
+    arr = np.asarray(arr)
+    if arr.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+def check_integer_array(arr: Any, name: str) -> np.ndarray:
+    """Coerce to an int64 array, rejecting non-integral values."""
+    arr = np.asarray(arr)
+    if arr.dtype.kind == "f":
+        if not np.all(np.isfinite(arr)) or not np.all(arr == np.floor(arr)):
+            raise ValueError(f"{name} must contain integers, got non-integral values")
+        arr = arr.astype(np.int64)
+    elif arr.dtype.kind not in ("i", "u"):
+        raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return arr.astype(np.int64)

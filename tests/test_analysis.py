@@ -1,0 +1,167 @@
+"""Tests for the analysis package (metrics, theory fits, concentration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    ErrorQuantiles,
+    collect_error_quantiles,
+    lemma12_violation_rates,
+)
+from repro.analysis.metrics import (
+    approximation_ratio,
+    fractional_stats,
+    integral_stats,
+    plateau_round,
+    utilization,
+)
+from repro.analysis.theory import (
+    GROWTH_LAWS,
+    fit_against_log,
+    growth_exponent,
+    linear_fit,
+    shape_verdict,
+)
+from repro.core.fractional import FractionalAllocation
+from repro.core.local_driver import solve_fractional_fixed_tau
+from repro.core.sampled import SampledRun
+from repro.graphs.generators import star_instance, union_of_forests
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+
+def test_approximation_ratio_edges():
+    assert approximation_ratio(0.0, 0.0) == 1.0
+    assert approximation_ratio(5.0, 0.0) == float("inf")
+    assert approximation_ratio(6.0, 3.0) == 2.0
+
+
+def test_integral_stats(small_star):
+    mask = np.zeros(small_star.graph.n_edges, dtype=bool)
+    mask[:2] = True
+    stats = integral_stats(small_star.graph, small_star.capacities, mask)
+    assert stats.size == 2
+    assert 0 < stats.left_utilization < 1
+    assert stats.right_utilization == pytest.approx(2 / 3)
+
+
+def test_integral_stats_rejects_infeasible(small_star):
+    mask = np.ones(small_star.graph.n_edges, dtype=bool)
+    with pytest.raises(ValueError):
+        integral_stats(small_star.graph, small_star.capacities, mask)
+
+
+def test_fractional_stats(medium_forest_instance):
+    inst = medium_forest_instance
+    res = solve_fractional_fixed_tau(inst, 0.25)
+    stats = fractional_stats(inst.graph, inst.capacities, res.allocation)
+    assert stats.weight == pytest.approx(res.match_weight, abs=1e-6)
+    assert stats.support_size > 0
+    assert stats.entropy > 0  # proportional dynamics spread mass
+
+
+def test_utilization():
+    u = utilization(np.array([2, 4]), np.array([1.0, 4.0]))
+    assert u.tolist() == [0.5, 1.0]
+
+
+def test_plateau_round():
+    assert plateau_round([1.0, 2.0, 3.0, 3.0, 3.0]) == 3
+    assert plateau_round([5.0]) == 1
+    with pytest.raises(ValueError):
+        plateau_round([])
+
+
+# ----------------------------------------------------------------------
+# theory fits
+# ----------------------------------------------------------------------
+
+def test_linear_fit_exact_line():
+    fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(4) == pytest.approx(9.0)
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1], [2])
+
+
+def test_fit_against_log_recovers_log_series():
+    lams = [2, 4, 8, 16, 32]
+    rounds = [3.0 * np.log2(l) + 1 for l in lams]
+    fit = fit_against_log(lams, rounds)
+    assert fit.slope == pytest.approx(3.0)
+    assert fit.r_squared > 0.999
+
+
+def test_growth_exponent():
+    ns = [100, 200, 400, 800]
+    assert growth_exponent(ns, [5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+    assert growth_exponent(ns, ns) == pytest.approx(1.0)
+    assert growth_exponent(ns, [np.sqrt(n) for n in ns]) == pytest.approx(0.5)
+
+
+def test_shape_verdict_identifies_log():
+    lams = [2.0, 4, 8, 16, 32, 64]
+    measurements = [np.log2(l) * 2.5 for l in lams]
+    verdict = shape_verdict(lams, measurements)
+    assert set(verdict) == set(GROWTH_LAWS)
+    assert max(verdict, key=verdict.get) == "log"
+
+
+def test_shape_verdict_identifies_linear():
+    xs = [2.0, 4, 8, 16, 32]
+    verdict = shape_verdict(xs, [3 * x for x in xs])
+    assert max(verdict, key=verdict.get) == "linear"
+
+
+def test_shape_verdict_validation():
+    with pytest.raises(ValueError):
+        shape_verdict([1.0], [1.0])
+
+
+# ----------------------------------------------------------------------
+# concentration
+# ----------------------------------------------------------------------
+
+def _sampled_run(budget):
+    inst = union_of_forests(20, 16, 3, capacity=2, seed=2)
+    run = SampledRun(
+        inst.graph, inst.capacities, 0.25, block=2, sample_budget=budget,
+        sampler="fast", seed=0,
+    )
+    run.run_rounds(6)
+    return run
+
+
+def test_error_quantiles_ordering():
+    run = _sampled_run(budget=4)
+    beta_q, alloc_q = collect_error_quantiles(run.phase_reports)
+    for q in (beta_q, alloc_q):
+        assert 0 <= q.median <= q.q90 <= q.q99 <= q.maximum
+        assert q.n_samples > 0
+
+
+def test_error_quantiles_empty():
+    q = ErrorQuantiles.from_errors(np.empty(0))
+    assert q.maximum == 0.0 and q.n_samples == 0
+
+
+def test_violation_rates_zero_at_full_budget():
+    run = _sampled_run(budget=10**6)
+    beta_v, alloc_v = lemma12_violation_rates(run)
+    assert beta_v == 0.0 and alloc_v == 0.0
+
+
+def test_violation_rates_bounded():
+    run = _sampled_run(budget=2)
+    beta_v, alloc_v = lemma12_violation_rates(run)
+    assert 0.0 <= beta_v <= 1.0
+    assert 0.0 <= alloc_v <= 1.0

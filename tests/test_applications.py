@@ -1,0 +1,93 @@
+"""Tests for the makespan-minimization application layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.makespan import max_serviceable, minimize_makespan
+from repro.graphs import build_graph
+from repro.graphs.generators import (
+    load_balancing_instance,
+    star_instance,
+    union_of_forests,
+)
+
+
+def brute_force_makespan(graph) -> int:
+    """Reference: smallest uniform T serving every serviceable client,
+    by linear scan with the exact oracle."""
+    from repro.baselines.exact import solve_exact
+    from repro.graphs.capacities import uniform_capacities
+
+    target = max_serviceable(graph)
+    if target == 0:
+        return 0
+    for t in range(1, graph.n_left + 1):
+        if solve_exact(graph, uniform_capacities(graph, t)).value >= target:
+            return t
+    raise AssertionError("unreachable: T = n_left always serves everyone")
+
+
+def test_star_makespan():
+    inst = star_instance(7)
+    res = minimize_makespan(inst.graph)
+    # One server must absorb everything.
+    assert res.makespan == 7
+    assert res.serves_everyone
+
+
+def test_two_servers_split():
+    # 4 clients, each eligible for both servers: makespan 2.
+    g = build_graph(4, 2, [0, 0, 1, 1, 2, 2, 3, 3], [0, 1, 0, 1, 0, 1, 0, 1])
+    res = minimize_makespan(g)
+    assert res.makespan == 2
+    assert res.serves_everyone
+
+
+def test_empty_graph():
+    g = build_graph(3, 2, [], [])
+    res = minimize_makespan(g)
+    assert res.makespan == 0
+    assert res.served == 0
+
+
+def test_matches_brute_force():
+    for seed in range(3):
+        inst = load_balancing_instance(25, 5, locality=2, seed=seed)
+        res = minimize_makespan(inst.graph)
+        assert res.meta["optimal_T"] == brute_force_makespan(inst.graph)
+        assert res.serves_everyone
+        assert res.makespan <= res.meta["optimal_T"]
+
+
+@pytest.mark.parametrize("oracle", ["exact", "proportional"])
+def test_oracles_agree(oracle):
+    inst = load_balancing_instance(30, 6, locality=3, seed=4)
+    res = minimize_makespan(inst.graph, oracle=oracle, seed=1)
+    assert res.serves_everyone
+    assert res.meta["optimal_T"] == brute_force_makespan(inst.graph)
+
+
+def test_oracle_calls_logarithmic():
+    inst = load_balancing_instance(60, 6, locality=3, seed=2)
+    res = minimize_makespan(inst.graph)
+    # Binary search over [ceil(60/6), max right degree].
+    assert res.oracle_calls <= 8
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_property_assignment_feasible(seed):
+    inst = union_of_forests(12, 6, 2, seed=seed)
+    res = minimize_makespan(inst.graph, seed=seed)
+    loads = np.bincount(
+        inst.graph.edge_v[res.edge_mask], minlength=inst.graph.n_right
+    )
+    assert int(loads.max(initial=0)) == res.makespan
+    left_used = np.bincount(
+        inst.graph.edge_u[res.edge_mask], minlength=inst.graph.n_left
+    )
+    assert np.all(left_used <= 1)
+    assert res.serves_everyone

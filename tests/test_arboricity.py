@@ -1,0 +1,229 @@
+"""Tests for degeneracy, exact arboricity, and densest subgraph.
+
+Exact arboricity is cross-checked against a brute-force Nash–Williams
+computation on tiny graphs and against networkx's flow machinery where
+applicable (networkx is a test-only dependency).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import build_graph, degeneracy, exact_arboricity
+from repro.graphs.arboricity import (
+    core_numbers,
+    densest_subgraph,
+    forest_partition,
+    nash_williams_witness_density,
+)
+from repro.graphs.generators import (
+    complete_bipartite_instance,
+    cycle_instance,
+    grid_instance,
+    star_instance,
+    union_of_forests,
+)
+
+
+def brute_force_arboricity(n: int, edges: list[tuple[int, int]]) -> int:
+    """Nash–Williams by subset enumeration (tiny graphs only)."""
+    if not edges:
+        return 0
+    verts = sorted({v for e in edges for v in e})
+    best = 1
+    for size in range(2, len(verts) + 1):
+        for subset in combinations(verts, size):
+            s = set(subset)
+            m_s = sum(1 for a, b in edges if a in s and b in s)
+            if m_s > 0:
+                need = -(-m_s // (size - 1))  # ceil
+                best = max(best, need)
+    return best
+
+
+def test_core_numbers_path():
+    # Path a-b-c: all core numbers 1.
+    cores = core_numbers(3, np.array([0, 1]), np.array([1, 2]))
+    assert cores.tolist() == [1, 1, 1]
+
+
+def test_core_numbers_triangle_plus_pendant():
+    # Triangle {0,1,2} with pendant 3 attached to 0.
+    ea = np.array([0, 1, 2, 0])
+    eb = np.array([1, 2, 0, 3])
+    cores = core_numbers(4, ea, eb)
+    assert cores.tolist() == [2, 2, 2, 1]
+
+
+def test_core_numbers_empty():
+    assert core_numbers(0, np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+    assert core_numbers(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64)).tolist() == [0, 0, 0]
+
+
+def test_degeneracy_star():
+    inst = star_instance(10)
+    assert degeneracy(inst.graph) == 1
+
+
+def test_degeneracy_complete_bipartite():
+    inst = complete_bipartite_instance(4, 4)
+    assert degeneracy(inst.graph) == 4
+
+
+def test_exact_arboricity_star():
+    res = exact_arboricity(star_instance(8).graph)
+    assert res.value == 1
+    assert len(res.partition) == 1
+
+
+def test_exact_arboricity_cycle():
+    res = exact_arboricity(cycle_instance(4).graph)
+    assert res.value == 2
+    # The density floor ceil(m/(n-1)) = 2 lets the search skip k=1, so
+    # no failure witness is produced — the partition is the certificate.
+    assert len(res.partition) == 2
+
+
+def test_exact_arboricity_grid():
+    res = exact_arboricity(grid_instance(4, 4).graph)
+    assert res.value == 2
+
+
+def test_exact_arboricity_complete_bipartite():
+    # K_{3,3}: ceil(9 / 5) = 2; K_{4,4}: ceil(16/7) = 3.
+    assert exact_arboricity(complete_bipartite_instance(3, 3).graph).value == 2
+    assert exact_arboricity(complete_bipartite_instance(4, 4).graph).value == 3
+
+
+def test_union_of_forests_respects_bound():
+    for k in (1, 2, 3):
+        inst = union_of_forests(15, 12, k, seed=k)
+        res = exact_arboricity(inst.graph)
+        assert res.value <= k
+        assert res.value <= inst.arboricity_upper_bound
+
+
+def test_forest_partition_is_valid_partition():
+    inst = union_of_forests(12, 12, 3, seed=1)
+    g = inst.graph
+    ea, eb = g.undirected_edges()
+    partition, witness = forest_partition(g.n_vertices, ea, eb, 3)
+    assert witness is None
+    all_ids = np.concatenate(partition) if partition else np.array([])
+    assert sorted(all_ids.tolist()) == list(range(g.n_edges))
+    # Each part is a forest: verify via union-find.
+    for part in partition:
+        parent = list(range(g.n_vertices))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for eid in part.tolist():
+            a, b = int(ea[eid]), int(eb[eid])
+            ra, rb = find(a), find(b)
+            assert ra != rb, "cycle inside a forest part"
+            parent[ra] = rb
+
+
+def test_forest_partition_failure_yields_witness():
+    # K_{4,4} has arboricity 3: partition into 2 forests must fail.
+    g = complete_bipartite_instance(4, 4).graph
+    ea, eb = g.undirected_edges()
+    partition, witness = forest_partition(g.n_vertices, ea, eb, 2)
+    assert partition is None
+    assert witness is not None
+    dens = nash_williams_witness_density(g.n_vertices, ea, eb, witness)
+    assert dens > 2
+
+
+def test_degeneracy_sandwich():
+    """λ ≤ degeneracy ≤ 2λ − 1 on the small zoo."""
+    for inst in (
+        star_instance(7),
+        complete_bipartite_instance(3, 5),
+        grid_instance(3, 5),
+        union_of_forests(10, 10, 2, seed=0),
+    ):
+        lam = exact_arboricity(inst.graph).value
+        d = degeneracy(inst.graph)
+        assert lam <= d <= max(1, 2 * lam - 1)
+
+
+def test_densest_subgraph_complete_bipartite():
+    g = complete_bipartite_instance(3, 3).graph
+    ea, eb = g.undirected_edges()
+    res = densest_subgraph(g.n_vertices, ea, eb)
+    assert res.density == Fraction(9, 6)
+    assert res.vertices.size == 6
+
+
+def test_densest_subgraph_star():
+    g = star_instance(6).graph
+    ea, eb = g.undirected_edges()
+    res = densest_subgraph(g.n_vertices, ea, eb)
+    # Star density: 6 edges / 7 vertices (whole graph is densest).
+    assert res.density == Fraction(6, 7)
+
+
+def test_densest_subgraph_empty():
+    res = densest_subgraph(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert res.density == 0
+
+
+def test_densest_subgraph_planted():
+    # K_{3,3} plus a long pendant path: the core is the densest part.
+    eu = [0, 0, 0, 1, 1, 1, 2, 2, 2]
+    ev = [0, 1, 2, 0, 1, 2, 0, 1, 2]
+    # pendant path hanging off left vertex 3: 3-3r, 4-3r ... sparse tail
+    eu += [3, 4, 4, 5]
+    ev += [3, 3, 4, 4]
+    g = build_graph(6, 5, eu, ev)
+    ea, eb = g.undirected_edges()
+    res = densest_subgraph(g.n_vertices, ea, eb)
+    assert res.density == Fraction(9, 6)
+    core = {0, 1, 2, 6, 7, 8}  # left 0..2 and right 0..2 (offset 6)
+    assert set(res.vertices.tolist()) == core
+
+
+@st.composite
+def tiny_graphs(draw):
+    n_left = draw(st.integers(1, 4))
+    n_right = draw(st.integers(1, 4))
+    universe = [(u, v) for u in range(n_left) for v in range(n_right)]
+    edges = draw(st.lists(st.sampled_from(universe), max_size=12, unique=True))
+    return n_left, n_right, edges
+
+
+@given(tiny_graphs())
+@settings(max_examples=30, deadline=None)
+def test_property_exact_matches_brute_force(data):
+    n_left, n_right, edges = data
+    g = build_graph(n_left, n_right, [e[0] for e in edges], [e[1] for e in edges])
+    res = exact_arboricity(g)
+    merged = [(u, v + n_left) for (u, v) in edges]
+    assert res.value == brute_force_arboricity(g.n_vertices, merged)
+
+
+@given(tiny_graphs())
+@settings(max_examples=30, deadline=None)
+def test_property_degeneracy_matches_networkx(data):
+    nx = pytest.importorskip("networkx")
+    n_left, n_right, edges = data
+    if not edges:
+        return
+    g = build_graph(n_left, n_right, [e[0] for e in edges], [e[1] for e in edges])
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n_vertices))
+    ea, eb = g.undirected_edges()
+    G.add_edges_from(zip(ea.tolist(), eb.tolist()))
+    ours = core_numbers(g.n_vertices, ea, eb)
+    theirs = nx.core_number(G)
+    assert {v: int(ours[v]) for v in range(g.n_vertices)} == theirs

@@ -1,0 +1,119 @@
+"""Tests for the b-matching generalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import optimum_value
+from repro.bmatching.exact import optimum_bmatching_value, solve_exact_bmatching
+from repro.bmatching.greedy import greedy_bmatching
+from repro.bmatching.problem import BMatchingInstance, from_allocation, to_allocation
+from repro.bmatching.proportional import proportional_bmatching
+from repro.core import params
+from repro.graphs import build_graph
+from repro.graphs.generators import complete_bipartite_instance, union_of_forests
+from repro.utils.rng import as_generator
+
+
+def random_bminstance(seed, n_left=12, n_right=10, m=30, bmax=3):
+    rng = as_generator(seed)
+    chosen = rng.choice(n_left * n_right, size=m, replace=False)
+    g = build_graph(
+        n_left, n_right,
+        (chosen // n_right).astype(np.int64),
+        (chosen % n_right).astype(np.int64),
+    )
+    return BMatchingInstance(
+        graph=g,
+        b_left=rng.integers(1, bmax + 1, size=n_left),
+        b_right=rng.integers(1, bmax + 1, size=n_right),
+    )
+
+
+def test_instance_validation():
+    g = build_graph(2, 2, [0, 1], [0, 1])
+    with pytest.raises(ValueError):
+        BMatchingInstance(graph=g, b_left=np.array([1]), b_right=np.array([1, 1]))
+    with pytest.raises(ValueError):
+        BMatchingInstance(graph=g, b_left=np.array([0, 1]), b_right=np.array([1, 1]))
+
+
+def test_allocation_embedding_round_trip(small_forest_instance):
+    bm = from_allocation(small_forest_instance)
+    assert np.all(bm.b_left == 1)
+    back = to_allocation(bm)
+    assert np.array_equal(back.capacities, small_forest_instance.capacities)
+
+
+def test_to_allocation_requires_unit_left():
+    g = build_graph(2, 2, [0, 1], [0, 1])
+    bm = BMatchingInstance(graph=g, b_left=np.array([2, 1]), b_right=np.array([1, 1]))
+    with pytest.raises(ValueError):
+        to_allocation(bm)
+
+
+def test_exact_bmatching_agrees_with_allocation_oracle():
+    for seed in range(3):
+        inst = union_of_forests(15, 12, 2, capacity=3, seed=seed)
+        bm = from_allocation(inst)
+        assert optimum_bmatching_value(bm) == optimum_value(inst)
+
+
+def test_exact_bmatching_two_sided():
+    # K_{3,3} with b_left = 2, b_right = 2: optimum = min(6, 6, 9) = 6.
+    inst = complete_bipartite_instance(3, 3).graph
+    bm = BMatchingInstance(
+        graph=inst, b_left=np.full(3, 2), b_right=np.full(3, 2)
+    )
+    sol = solve_exact_bmatching(bm)
+    assert sol.value == 6
+    assert bm.check_feasible(sol.edge_mask)
+
+
+def test_greedy_bmatching_half_approx():
+    for seed in range(4):
+        bm = random_bminstance(seed)
+        mask = greedy_bmatching(bm, seed=seed)
+        assert bm.check_feasible(mask)
+        assert int(mask.sum()) * 2 >= optimum_bmatching_value(bm)
+
+
+def test_greedy_bmatching_order_validated():
+    bm = random_bminstance(0)
+    with pytest.raises(ValueError):
+        greedy_bmatching(bm, order="bogus")
+
+
+def test_proportional_bmatching_feasible_and_competitive():
+    for seed in range(3):
+        bm = random_bminstance(seed, n_left=20, n_right=15, m=60)
+        tau = params.tau_azm18(bm.graph.n_right, 0.2)
+        out = proportional_bmatching(bm, 0.2, tau)
+        assert out.check_feasible(bm)
+        opt = optimum_bmatching_value(bm)
+        # Experimental: empirically lands within 2.5x on these families.
+        assert out.weight * 2.5 >= opt
+
+
+def test_proportional_bmatching_reduces_to_allocation():
+    inst = union_of_forests(20, 15, 2, capacity=2, seed=6)
+    bm = from_allocation(inst)
+    tau = params.tau_two_approx(2, 0.25)
+    out = proportional_bmatching(bm, 0.25, tau)
+    from repro.core.local_driver import solve_fractional_fixed_tau
+
+    ref = solve_fractional_fixed_tau(inst, 0.25, tau=tau)
+    # With unit left b-values the dynamics coincide with Algorithm 1.
+    assert out.weight == pytest.approx(ref.match_weight, rel=1e-9)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_property_bmatching_feasibility(seed):
+    bm = random_bminstance(seed, n_left=8, n_right=6, m=16)
+    out = proportional_bmatching(bm, 0.25, tau=6)
+    assert out.check_feasible(bm)
+    mask = greedy_bmatching(bm, seed=seed)
+    assert bm.check_feasible(mask)

@@ -1,0 +1,148 @@
+"""Degenerate-instance hardening: every driver must handle emptiness.
+
+Empty edge sets, fully isolated sides, and single-vertex instances are
+the classic places distributed-algorithm implementations break; these
+tests pin the library's behaviour on all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.auction import auction_allocation
+from repro.baselines.azm18 import solve_azm18_mpc
+from repro.baselines.exact import solve_exact
+from repro.baselines.greedy import greedy_allocation, is_maximal_allocation
+from repro.boosting.boost import boost_allocation
+from repro.core.fractional import FractionalAllocation
+from repro.core.local_driver import (
+    solve_fractional_fixed_tau,
+    solve_fractional_until_certificate,
+)
+from repro.core.mpc_driver import solve_allocation_mpc
+from repro.core.proportional import ProportionalRun
+from repro.core.sampled import SampledRun
+from repro.graphs import build_graph, degeneracy, exact_arboricity
+from repro.graphs.instances import AllocationInstance
+from repro.mpc.simulation import simulate_local_rounds_on_cluster
+from repro.rounding.sampling import round_best_of, round_once
+
+
+@pytest.fixture
+def empty_instance():
+    """Vertices but no edges."""
+    return AllocationInstance(
+        graph=build_graph(3, 2, [], []), capacities=np.array([1, 2]), name="empty"
+    )
+
+
+@pytest.fixture
+def single_edge_instance():
+    return AllocationInstance(
+        graph=build_graph(1, 1, [0], [0]), capacities=np.array([1]), name="one-edge"
+    )
+
+
+def test_empty_exact(empty_instance):
+    sol = solve_exact(empty_instance.graph, empty_instance.capacities)
+    assert sol.value == 0
+    assert sol.edge_mask.size == 0
+
+
+def test_empty_proportional(empty_instance):
+    run = ProportionalRun(empty_instance.graph, empty_instance.capacities, 0.25)
+    run.run(3)
+    # All-isolated right vertices are under-allocated forever: β rises.
+    assert run.beta_exp.tolist() == [3, 3]
+    assert run.match_weight() == 0.0
+
+
+def test_empty_certificate_fires_immediately(empty_instance):
+    res = solve_fractional_until_certificate(empty_instance, 0.25)
+    # N(L_2τ) is empty, so the mass condition (0 ≥ 0) fires at round 1.
+    assert res.rounds == 1
+    assert res.match_weight == 0.0
+
+
+def test_empty_fixed_tau(empty_instance):
+    res = solve_fractional_fixed_tau(empty_instance, 0.25)
+    assert res.match_weight == 0.0
+    assert res.allocation.x.size == 0
+
+
+def test_empty_mpc_driver(empty_instance):
+    res = solve_allocation_mpc(empty_instance, 0.2, lam=1, seed=0)
+    assert res.match_weight == 0.0
+    assert res.mpc_rounds >= 1
+
+
+def test_empty_sampled(empty_instance):
+    run = SampledRun(
+        empty_instance.graph, empty_instance.capacities, 0.25, block=2, sample_budget=4
+    )
+    run.run_rounds(4)
+    assert run.match_weight() == 0.0
+
+
+def test_empty_rounding(empty_instance):
+    frac = FractionalAllocation(x=np.zeros(0))
+    out = round_once(empty_instance.graph, empty_instance.capacities, frac, seed=0)
+    assert out.size == 0
+    best = round_best_of(
+        empty_instance.graph, empty_instance.capacities, frac, copies=3, seed=0
+    )
+    assert best.size == 0
+
+
+def test_empty_boosting(empty_instance):
+    res = boost_allocation(
+        empty_instance, np.zeros(0, dtype=bool), 0.5, mode="deterministic"
+    )
+    assert res.final_size == 0
+
+
+def test_empty_baselines(empty_instance):
+    g, caps = empty_instance.graph, empty_instance.capacities
+    assert int(greedy_allocation(g, caps).sum()) == 0
+    assert is_maximal_allocation(g, caps, np.zeros(0, dtype=bool))
+    assert auction_allocation(g, caps).size == 0
+    assert solve_azm18_mpc(empty_instance, 0.25).match_weight == 0.0
+
+
+def test_empty_arboricity(empty_instance):
+    assert exact_arboricity(empty_instance.graph).value == 0
+    assert degeneracy(empty_instance.graph) == 0
+
+
+def test_empty_direct_simulation(empty_instance):
+    res = simulate_local_rounds_on_cluster(
+        empty_instance.graph, empty_instance.capacities, 0.25, tau=2
+    )
+    assert res.beta_exp.tolist() == [2, 2]
+    assert res.violations == []
+
+
+def test_single_edge_pipeline(single_edge_instance):
+    inst = single_edge_instance
+    res = solve_fractional_until_certificate(inst, 0.25)
+    assert res.match_weight == pytest.approx(1.0)
+    sol = solve_exact(inst.graph, inst.capacities)
+    assert sol.value == 1
+
+
+def test_no_left_side():
+    inst = AllocationInstance(
+        graph=build_graph(0, 2, [], []), capacities=np.array([1, 1])
+    )
+    res = solve_fractional_until_certificate(inst, 0.25)
+    assert res.match_weight == 0.0
+
+
+def test_isolated_mixed_with_active():
+    # Two active edges plus isolated vertices on both sides.
+    inst = AllocationInstance(
+        graph=build_graph(4, 3, [0, 1], [0, 0]), capacities=np.array([2, 1, 1])
+    )
+    res = solve_fractional_until_certificate(inst, 0.25)
+    assert res.match_weight == pytest.approx(2.0, abs=0.1)

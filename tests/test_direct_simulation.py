@@ -1,0 +1,51 @@
+"""Tests for the round-for-round MPC simulation of Algorithm 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.proportional import ProportionalRun
+from repro.graphs.generators import star_instance, union_of_forests
+from repro.mpc.simulation import simulate_local_rounds_on_cluster
+
+
+def test_direct_matches_vectorized_star():
+    inst = star_instance(6, center_capacity=3)
+    res = simulate_local_rounds_on_cluster(
+        inst.graph, inst.capacities, 0.25, tau=5, space_slack=512.0
+    )
+    ref = ProportionalRun(inst.graph, inst.capacities, 0.25).run(5)
+    assert np.array_equal(res.beta_exp, ref.beta_exp)
+    assert np.allclose(res.alloc, ref.alloc, atol=1e-9)
+
+
+def test_direct_costs_three_rounds_per_local_round():
+    inst = union_of_forests(15, 12, 2, capacity=2, seed=4)
+    res = simulate_local_rounds_on_cluster(
+        inst.graph, inst.capacities, 0.2, tau=4, space_slack=512.0
+    )
+    assert res.mpc_rounds == 3 * 4
+    assert res.local_rounds == 4
+    assert res.violations == []
+    assert res.peak_machine_words > 0
+
+
+def test_direct_validates_inputs(small_star):
+    with pytest.raises(ValueError):
+        simulate_local_rounds_on_cluster(
+            small_star.graph, small_star.capacities, 0.25, tau=0
+        )
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 5))
+@settings(max_examples=10, deadline=None)
+def test_property_direct_equivalence(seed, tau):
+    inst = union_of_forests(10, 8, 2, capacity=2, seed=seed)
+    res = simulate_local_rounds_on_cluster(
+        inst.graph, inst.capacities, 0.3, tau=tau, space_slack=1024.0
+    )
+    ref = ProportionalRun(inst.graph, inst.capacities, 0.3).run(tau)
+    assert np.array_equal(res.beta_exp, ref.beta_exp)
+    assert np.allclose(res.alloc, ref.alloc, atol=1e-9)

@@ -1,0 +1,203 @@
+"""Tests for the Dinic solver, the exact allocation oracle, and greedy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dinic import DinicSolver
+from repro.baselines.exact import solve_exact, optimum_value
+from repro.baselines.greedy import greedy_allocation, is_maximal_allocation
+from repro.graphs import build_graph
+from repro.graphs.generators import (
+    complete_bipartite_instance,
+    star_instance,
+    union_of_forests,
+)
+
+from tests.conftest import assert_feasible_integral, small_instance_zoo
+
+
+# ----------------------------------------------------------------------
+# Dinic
+# ----------------------------------------------------------------------
+
+def test_dinic_single_edge():
+    net = DinicSolver(2)
+    arc = net.add_edge(0, 1, 5)
+    assert net.max_flow(0, 1) == 5
+    assert net.flow_on(arc) == 5
+
+
+def test_dinic_series_bottleneck():
+    net = DinicSolver(3)
+    net.add_edge(0, 1, 10)
+    net.add_edge(1, 2, 3)
+    assert net.max_flow(0, 2) == 3
+
+
+def test_dinic_parallel_paths():
+    net = DinicSolver(4)
+    net.add_edge(0, 1, 2)
+    net.add_edge(0, 2, 2)
+    net.add_edge(1, 3, 2)
+    net.add_edge(2, 3, 2)
+    assert net.max_flow(0, 3) == 4
+
+
+def test_dinic_needs_residual_reroute():
+    # Classic diamond where a greedy path must be partially undone.
+    net = DinicSolver(4)
+    net.add_edge(0, 1, 1)
+    net.add_edge(0, 2, 1)
+    net.add_edge(1, 2, 1)
+    net.add_edge(1, 3, 1)
+    net.add_edge(2, 3, 1)
+    assert net.max_flow(0, 3) == 2
+
+
+def test_dinic_disconnected():
+    net = DinicSolver(4)
+    net.add_edge(0, 1, 3)
+    net.add_edge(2, 3, 3)
+    assert net.max_flow(0, 3) == 0
+
+
+def test_dinic_min_cut():
+    net = DinicSolver(4)
+    net.add_edge(0, 1, 1)
+    net.add_edge(1, 2, 10)
+    net.add_edge(2, 3, 10)
+    net.max_flow(0, 3)
+    side = net.min_cut_source_side(0)
+    assert side == [True, False, False, False]
+
+
+def test_dinic_rejects_bad_input():
+    net = DinicSolver(2)
+    with pytest.raises(ValueError):
+        net.add_edge(0, 5, 1)
+    with pytest.raises(ValueError):
+        net.add_edge(0, 1, -1)
+    with pytest.raises(ValueError):
+        net.max_flow(0, 0)
+    with pytest.raises(ValueError):
+        DinicSolver(0)
+
+
+@given(st.integers(2, 7), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_dinic_matches_networkx(n, seed):
+    nx = pytest.importorskip("networkx")
+    rng = np.random.default_rng(seed)
+    net = DinicSolver(n)
+    G = nx.DiGraph()
+    G.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.4:
+                cap = int(rng.integers(1, 10))
+                net.add_edge(u, v, cap)
+                if G.has_edge(u, v):
+                    G[u][v]["capacity"] += cap
+                else:
+                    G.add_edge(u, v, capacity=cap)
+    ours = net.max_flow(0, n - 1)
+    theirs = nx.maximum_flow_value(G, 0, n - 1)
+    assert ours == theirs
+
+
+# ----------------------------------------------------------------------
+# Exact allocation
+# ----------------------------------------------------------------------
+
+def test_exact_star_capacity_limits():
+    inst = star_instance(6, center_capacity=3)
+    sol = solve_exact(inst.graph, inst.capacities)
+    assert sol.value == 3
+    assert_feasible_integral(inst.graph, inst.capacities, sol.edge_mask)
+
+
+def test_exact_star_full_capacity():
+    inst = star_instance(6, center_capacity=6)
+    assert optimum_value(inst) == 6
+
+
+def test_exact_complete_bipartite():
+    inst = complete_bipartite_instance(4, 3, capacity=2)
+    # L side limits to 4; R side allows 6 → OPT = 4.
+    assert optimum_value(inst) == 4
+
+
+def test_exact_unit_capacities_is_matching():
+    nx = pytest.importorskip("networkx")
+    inst = union_of_forests(15, 12, 2, capacity=1, seed=3)
+    g = inst.graph
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n_vertices))
+    ea, eb = g.undirected_edges()
+    G.add_edges_from(zip(ea.tolist(), eb.tolist()))
+    matching = nx.algorithms.matching.max_weight_matching(G, maxcardinality=True)
+    assert optimum_value(inst) == len(matching)
+
+
+@pytest.mark.parametrize("inst", small_instance_zoo(), ids=lambda i: i.name)
+def test_exact_feasible_and_maximal(inst):
+    sol = solve_exact(inst.graph, inst.capacities)
+    assert_feasible_integral(inst.graph, inst.capacities, sol.edge_mask)
+    # Optimal ⇒ maximal.
+    assert is_maximal_allocation(inst.graph, inst.capacities, sol.edge_mask)
+
+
+def test_exact_matches_scipy_lp():
+    scipy_opt = pytest.importorskip("scipy.optimize")
+    inst = union_of_forests(10, 8, 2, capacity=2, seed=42)
+    g = inst.graph
+    # LP: maximize sum x_e subject to allocation constraints.
+    m = g.n_edges
+    n_rows = g.n_left + g.n_right
+    a_ub = np.zeros((n_rows, m))
+    for e in range(m):
+        a_ub[g.edge_u[e], e] = 1
+        a_ub[g.n_left + g.edge_v[e], e] = 1
+    b_ub = np.concatenate([np.ones(g.n_left), inst.capacities.astype(float)])
+    res = scipy_opt.linprog(
+        c=-np.ones(m), A_ub=a_ub, b_ub=b_ub, bounds=[(0, 1)] * m, method="highs"
+    )
+    assert res.success
+    assert abs(-res.fun - optimum_value(inst)) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Greedy
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("order", ["canonical", "random", "degree"])
+def test_greedy_feasible_and_maximal(order, medium_forest_instance):
+    inst = medium_forest_instance
+    mask = greedy_allocation(inst.graph, inst.capacities, order=order, seed=1)
+    assert_feasible_integral(inst.graph, inst.capacities, mask)
+    assert is_maximal_allocation(inst.graph, inst.capacities, mask)
+
+
+def test_greedy_half_approximation():
+    for seed in range(5):
+        inst = union_of_forests(30, 20, 3, capacity=2, seed=seed)
+        opt = optimum_value(inst)
+        mask = greedy_allocation(inst.graph, inst.capacities, order="random", seed=seed)
+        assert int(mask.sum()) * 2 >= opt
+
+
+def test_greedy_unknown_order_rejected(small_forest_instance):
+    with pytest.raises(ValueError, match="unknown order"):
+        greedy_allocation(
+            small_forest_instance.graph, small_forest_instance.capacities, order="bogus"
+        )
+
+
+def test_is_maximal_detects_addable_edge():
+    g = build_graph(2, 1, [0, 1], [0, 0])
+    caps = np.array([2])
+    mask = np.array([True, False])
+    assert not is_maximal_allocation(g, caps, mask)

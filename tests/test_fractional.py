@@ -1,0 +1,106 @@
+"""Direct tests for the FractionalAllocation value type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fractional import FeasibilityReport, FractionalAllocation
+from repro.graphs import build_graph
+from repro.graphs.generators import union_of_forests
+
+
+@pytest.fixture
+def triangle_ish():
+    # L0-R0, L0-R1, L1-R1
+    return build_graph(2, 2, [0, 0, 1], [0, 1, 1])
+
+
+def test_weight_and_loads(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([0.5, 0.5, 1.0]))
+    assert alloc.weight == pytest.approx(2.0)
+    assert alloc.left_loads(triangle_ish).tolist() == [1.0, 1.0]
+    assert alloc.right_loads(triangle_ish).tolist() == [0.5, 1.5]
+
+
+def test_feasibility_report_pass(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([0.5, 0.5, 0.5]))
+    report = alloc.check_feasibility(triangle_ish, np.array([1, 1]))
+    assert bool(report)
+    assert report.max_left_excess <= 0
+    assert isinstance(report, FeasibilityReport)
+
+
+def test_feasibility_report_left_violation(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([0.8, 0.8, 0.0]))
+    report = alloc.check_feasibility(triangle_ish, np.array([2, 2]))
+    assert not report.feasible
+    assert report.max_left_excess == pytest.approx(0.6)
+
+
+def test_feasibility_report_right_violation(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([0.0, 1.0, 1.0]))
+    report = alloc.check_feasibility(triangle_ish, np.array([1, 1]))
+    assert not report.feasible
+    assert report.max_right_excess == pytest.approx(1.0)
+
+
+def test_feasibility_value_range(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([-0.1, 0.0, 0.0]))
+    assert not alloc.check_feasibility(triangle_ish, np.array([1, 1])).feasible
+    alloc = FractionalAllocation(x=np.array([1.2, 0.0, 0.0]))
+    assert not alloc.check_feasibility(triangle_ish, np.array([2, 2])).feasible
+
+
+def test_require_feasible_raises(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([1.0, 1.0, 1.0]))
+    with pytest.raises(ValueError, match="infeasible"):
+        alloc.require_feasible(triangle_ish, np.array([1, 1]))
+
+
+def test_shape_mismatch_rejected(triangle_ish):
+    alloc = FractionalAllocation(x=np.zeros(2))
+    with pytest.raises(ValueError, match="shape"):
+        alloc.check_feasibility(triangle_ish, np.array([1, 1]))
+
+
+def test_scaled_into_feasibility(triangle_ish):
+    # Right loads 0.5 / 1.5 against capacity 1: vertex 1 scaled by 2/3.
+    alloc = FractionalAllocation(x=np.array([0.5, 0.5, 1.0]))
+    scaled = alloc.scaled_into_feasibility(triangle_ish, np.array([1, 1]))
+    assert scaled.right_loads(triangle_ish).tolist() == pytest.approx([0.5, 1.0])
+    assert scaled.check_feasibility(triangle_ish, np.array([1, 1])).feasible
+    # Under-capacity vertices untouched.
+    assert scaled.x[0] == pytest.approx(0.5)
+
+
+def test_scaled_noop_when_feasible(triangle_ish):
+    alloc = FractionalAllocation(x=np.array([0.2, 0.3, 0.4]))
+    scaled = alloc.scaled_into_feasibility(triangle_ish, np.array([1, 1]))
+    assert np.allclose(scaled.x, alloc.x)
+
+
+def test_empty_allocation():
+    g = build_graph(2, 2, [], [])
+    alloc = FractionalAllocation(x=np.zeros(0))
+    assert alloc.weight == 0.0
+    assert alloc.check_feasibility(g, np.array([1, 1])).feasible
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_property_scaling_is_idempotent_and_feasible(seed):
+    inst = union_of_forests(10, 8, 2, capacity=2, seed=seed)
+    rng = np.random.default_rng(seed)
+    # Random left-normalized x (feasible on L, arbitrary on R).
+    raw = rng.random(inst.graph.n_edges)
+    denom = np.maximum(
+        np.bincount(inst.graph.edge_u, weights=raw, minlength=inst.graph.n_left), 1e-12
+    )
+    x = raw / denom[inst.graph.edge_u]
+    alloc = FractionalAllocation(x=x)
+    scaled = alloc.scaled_into_feasibility(inst.graph, inst.capacities)
+    assert scaled.check_feasibility(inst.graph, inst.capacities).feasible
+    twice = scaled.scaled_into_feasibility(inst.graph, inst.capacities)
+    assert np.allclose(twice.x, scaled.x)

@@ -1,0 +1,234 @@
+"""Tests for the workload generators and capacity profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import degeneracy, exact_arboricity
+from repro.graphs.capacities import (
+    degree_proportional_capacities,
+    uniform_capacities,
+    unit_capacities,
+    validate_capacities,
+    zipf_capacities,
+)
+from repro.graphs.generators import (
+    FAMILY_BUILDERS,
+    adwords_instance,
+    complete_bipartite_instance,
+    cycle_instance,
+    double_star_instance,
+    erdos_renyi_instance,
+    grid_instance,
+    load_balancing_instance,
+    planted_dense_core_instance,
+    power_law_instance,
+    random_bipartite_forest_edges,
+    regular_instance,
+    star_instance,
+    union_of_forests,
+)
+
+
+def _is_forest(n: int, ea: np.ndarray, eb: np.ndarray) -> bool:
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in zip(ea.tolist(), eb.tolist()):
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent[ra] = rb
+    return True
+
+
+def test_random_forest_is_forest():
+    for seed in range(6):
+        eu, ev = random_bipartite_forest_edges(12, 9, seed)
+        assert _is_forest(21, eu, ev + 12)
+
+
+def test_random_forest_spans_most_vertices():
+    eu, ev = random_bipartite_forest_edges(50, 50, 0)
+    # A forest over 100 vertices inserted in random order has few roots.
+    assert eu.size >= 90
+
+
+def test_union_of_forests_metadata():
+    inst = union_of_forests(20, 15, 3, seed=0)
+    assert inst.arboricity_upper_bound == 3
+    assert inst.metadata["family"] == "union_of_forests"
+    inst.graph.validate()
+
+
+def test_union_of_forests_deterministic():
+    a = union_of_forests(20, 15, 2, seed=5)
+    b = union_of_forests(20, 15, 2, seed=5)
+    assert np.array_equal(a.graph.edge_u, b.graph.edge_u)
+    assert np.array_equal(a.graph.edge_v, b.graph.edge_v)
+    c = union_of_forests(20, 15, 2, seed=6)
+    assert not (
+        np.array_equal(a.graph.edge_u, c.graph.edge_u)
+        and np.array_equal(a.graph.edge_v, c.graph.edge_v)
+    )
+
+
+def test_star_shape():
+    inst = star_instance(9)
+    assert inst.graph.n_left == 9
+    assert inst.graph.n_right == 1
+    assert inst.graph.n_edges == 9
+    assert inst.capacities.tolist() == [9]
+    assert exact_arboricity(inst.graph).value == 1
+
+
+def test_double_star():
+    inst = double_star_instance(10, shared_fraction=0.4)
+    inst.graph.validate()
+    assert inst.graph.n_right == 2
+    assert exact_arboricity(inst.graph).value <= 2
+
+
+def test_complete_bipartite_exact_arboricity_claim():
+    for a, b in ((2, 2), (3, 4), (4, 4)):
+        inst = complete_bipartite_instance(a, b)
+        claimed = inst.metadata["exact_arboricity"]
+        assert exact_arboricity(inst.graph).value == claimed
+
+
+def test_erdos_renyi_edge_count():
+    inst = erdos_renyi_instance(10, 10, 37, seed=1)
+    assert inst.graph.n_edges == 37
+    inst.graph.validate()
+
+
+def test_erdos_renyi_bounds_checked():
+    with pytest.raises(ValueError):
+        erdos_renyi_instance(3, 3, 10, seed=0)
+
+
+def test_power_law_degrees_positive():
+    inst = power_law_instance(50, 20, mean_left_degree=3, seed=2)
+    assert np.all(inst.graph.left_degrees >= 1)
+    inst.graph.validate()
+
+
+def test_regular_instance_degrees():
+    inst = regular_instance(12, 3, seed=4)
+    assert np.all(inst.graph.left_degrees == 3)
+    assert np.all(inst.graph.right_degrees == 3)
+    assert inst.arboricity_upper_bound == 3
+    assert exact_arboricity(inst.graph).value <= 3
+
+
+def test_grid_instance_arboricity():
+    inst = grid_instance(5, 6)
+    assert inst.graph.n_vertices == 30
+    assert inst.graph.n_edges == 5 * 5 + 4 * 6  # (cols-1)*rows + (rows-1)*cols
+    assert exact_arboricity(inst.graph).value <= 2
+
+
+def test_cycle_instance():
+    inst = cycle_instance(5)
+    assert inst.graph.n_edges == 10
+    assert np.all(inst.graph.left_degrees == 2)
+    assert exact_arboricity(inst.graph).value == 2
+
+
+def test_cycle_too_short():
+    with pytest.raises(ValueError):
+        cycle_instance(1)
+
+
+def test_planted_dense_core():
+    inst = planted_dense_core_instance(5, 5, 30, 30, core_density=1.0, seed=3)
+    inst.graph.validate()
+    # Degeneracy is driven by the core (K_{5,5} ⇒ degeneracy 5).
+    assert degeneracy(inst.graph) >= 4
+
+
+def test_load_balancing_locality_degrees():
+    inst = load_balancing_instance(40, 8, locality=3, seed=0)
+    assert np.all(inst.graph.left_degrees == 3)
+    assert inst.arboricity_upper_bound == 3
+    # Default capacity = balanced load ceiling.
+    assert inst.capacities[0] == 5
+
+
+def test_load_balancing_locality_bound():
+    with pytest.raises(ValueError):
+        load_balancing_instance(10, 3, locality=5)
+
+
+def test_adwords_instance():
+    inst = adwords_instance(60, 12, seed=8)
+    inst.graph.validate()
+    assert np.all(inst.capacities >= 1)
+
+
+def test_family_registry_builders_all_runnable():
+    kwargs = {
+        "union_of_forests": dict(n_left=10, n_right=8, k=2, seed=0),
+        "star": dict(n_leaves=5),
+        "double_star": dict(n_leaves=6),
+        "complete_bipartite": dict(a=3, b=3),
+        "erdos_renyi": dict(n_left=8, n_right=8, m=20, seed=0),
+        "power_law": dict(n_left=20, n_right=8, seed=0),
+        "regular": dict(n=8, d=2, seed=0),
+        "grid": dict(rows=3, cols=4),
+        "cycle": dict(half_length=4),
+        "planted_dense_core": dict(
+            core_left=3, core_right=3, fringe_left=8, fringe_right=8, seed=0
+        ),
+        "slow_spread": dict(core_right=3, width=2, seed=0),
+        "load_balancing": dict(n_clients=12, n_servers=4, seed=0),
+        "adwords": dict(n_impressions=15, n_advertisers=5, seed=0),
+    }
+    assert set(kwargs) == set(FAMILY_BUILDERS)
+    for name, builder in FAMILY_BUILDERS.items():
+        inst = builder(**kwargs[name])
+        inst.graph.validate()
+        validate_capacities(inst.graph, inst.capacities)
+
+
+# ----------------------------------------------------------------------
+# Capacities
+# ----------------------------------------------------------------------
+
+def test_unit_and_uniform_capacities():
+    inst = union_of_forests(6, 5, 1, seed=0)
+    assert unit_capacities(inst.graph).tolist() == [1] * 5
+    assert uniform_capacities(inst.graph, 4).tolist() == [4] * 5
+
+
+def test_degree_proportional_capacities():
+    inst = complete_bipartite_instance(6, 3)
+    caps = degree_proportional_capacities(inst.graph, fraction=0.5)
+    assert caps.tolist() == [3, 3, 3]
+
+
+def test_zipf_capacities_bounds():
+    inst = union_of_forests(10, 30, 1, seed=0)
+    caps = zipf_capacities(inst.graph, exponent=2.0, maximum=7, seed=1)
+    assert caps.min() >= 1
+    assert caps.max() <= 7
+
+
+def test_zipf_capacities_exponent_validated():
+    inst = union_of_forests(5, 5, 1, seed=0)
+    with pytest.raises(ValueError):
+        zipf_capacities(inst.graph, exponent=1.0)
+
+
+def test_validate_capacities_shape_and_range():
+    inst = union_of_forests(5, 5, 1, seed=0)
+    with pytest.raises(ValueError):
+        validate_capacities(inst.graph, np.ones(3, dtype=np.int64))
+    with pytest.raises(ValueError):
+        validate_capacities(inst.graph, np.zeros(5, dtype=np.int64))

@@ -1,0 +1,120 @@
+"""Tests for instance serialization and the splitting reduction."""
+
+from __future__ import annotations
+
+import io as stdio
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import optimum_value, solve_exact
+from repro.graphs.generators import star_instance, union_of_forests
+from repro.graphs.io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    read_edge_list,
+    save_instance,
+    write_edge_list,
+)
+from repro.graphs.splitting import lift_matching, split_to_matching_instance
+from repro.graphs import exact_arboricity, unit_capacities
+
+from tests.conftest import assert_feasible_integral
+
+
+# ----------------------------------------------------------------------
+# io
+# ----------------------------------------------------------------------
+
+def test_edge_list_round_trip(small_forest_instance):
+    buf = stdio.StringIO()
+    write_edge_list(small_forest_instance, buf)
+    buf.seek(0)
+    back = read_edge_list(buf)
+    assert back.graph.n_left == small_forest_instance.graph.n_left
+    assert np.array_equal(back.graph.edge_u, small_forest_instance.graph.edge_u)
+    assert np.array_equal(back.capacities, small_forest_instance.capacities)
+
+
+def test_edge_list_malformed_header():
+    with pytest.raises(ValueError, match="header"):
+        read_edge_list(stdio.StringIO("1 2\n"))
+
+
+def test_edge_list_missing_capacities_marker():
+    with pytest.raises(ValueError, match="capacities"):
+        read_edge_list(stdio.StringIO("1 1 1\n0 0\nnope\n1\n"))
+
+
+def test_json_round_trip(small_forest_instance):
+    text = instance_to_json(small_forest_instance)
+    back = instance_from_json(text)
+    assert back.name == small_forest_instance.name
+    assert back.arboricity_upper_bound == small_forest_instance.arboricity_upper_bound
+    assert np.array_equal(back.graph.edge_v, small_forest_instance.graph.edge_v)
+    assert back.metadata == small_forest_instance.metadata
+
+
+def test_json_format_validation():
+    with pytest.raises(ValueError, match="format"):
+        instance_from_json('{"format": "other"}')
+
+
+def test_file_round_trip(tmp_path, small_forest_instance):
+    path = tmp_path / "inst.json"
+    save_instance(small_forest_instance, path)
+    back = load_instance(path)
+    assert optimum_value(back) == optimum_value(small_forest_instance)
+
+
+# ----------------------------------------------------------------------
+# splitting reduction
+# ----------------------------------------------------------------------
+
+def test_split_star_becomes_complete_bipartite():
+    n = 6
+    inst = star_instance(n, center_capacity=n - 1)
+    split = split_to_matching_instance(inst.graph, inst.capacities)
+    assert split.graph.n_right == n - 1
+    assert split.graph.n_edges == n * (n - 1)
+    # The remark's blow-up: arboricity 1 → ~n/2.
+    assert exact_arboricity(inst.graph).value == 1
+    assert exact_arboricity(split.graph).value >= n // 2
+
+
+def test_split_preserves_optimum():
+    for seed in range(3):
+        inst = union_of_forests(12, 8, 2, capacity=3, seed=seed)
+        split = split_to_matching_instance(inst.graph, inst.capacities)
+        unit = unit_capacities(split.graph)
+        assert optimum_value(inst) == solve_exact(split.graph, unit).value
+
+
+def test_split_max_edges_guard():
+    inst = star_instance(50, center_capacity=49)
+    with pytest.raises(ValueError, match="max_edges"):
+        split_to_matching_instance(inst.graph, inst.capacities, max_edges=100)
+
+
+def test_lift_matching_round_trip():
+    inst = union_of_forests(10, 6, 2, capacity=2, seed=4)
+    split = split_to_matching_instance(inst.graph, inst.capacities)
+    unit = unit_capacities(split.graph)
+    sol = solve_exact(split.graph, unit)
+    lifted = lift_matching(inst.graph, split, sol.edge_mask)
+    assert_feasible_integral(inst.graph, inst.capacities, lifted)
+    assert int(lifted.sum()) == sol.value == optimum_value(inst)
+
+
+def test_lift_matching_shape_checked(small_star):
+    split = split_to_matching_instance(small_star.graph, small_star.capacities)
+    with pytest.raises(ValueError):
+        lift_matching(small_star.graph, split, np.zeros(3, dtype=bool))
+
+
+def test_copy_owner_mapping():
+    inst = star_instance(4, center_capacity=3)
+    split = split_to_matching_instance(inst.graph, inst.capacities)
+    assert split.copy_owner.tolist() == [0, 0, 0]
+    assert split.n_copies == 3

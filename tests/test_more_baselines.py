@@ -1,0 +1,87 @@
+"""Tests for the AZM18-in-MPC baseline and the auction comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.auction import auction_allocation
+from repro.baselines.azm18 import solve_azm18_mpc
+from repro.baselines.exact import optimum_value
+from repro.core import params
+from repro.graphs.generators import star_instance, union_of_forests
+
+from tests.conftest import assert_feasible_fractional, assert_feasible_integral
+
+
+def test_azm18_runs_published_budget(small_forest_instance):
+    inst = small_forest_instance
+    eps = 0.25
+    res = solve_azm18_mpc(inst, eps)
+    assert res.local_rounds == params.tau_azm18(inst.graph.n_right, eps)
+    assert res.mpc_rounds == res.local_rounds
+    assert_feasible_fractional(inst.graph, inst.capacities, res.allocation.x)
+
+
+def test_azm18_near_optimal_quality():
+    inst = union_of_forests(40, 30, 2, capacity=2, seed=3)
+    eps = 0.2
+    res = solve_azm18_mpc(inst, eps)
+    opt = optimum_value(inst)
+    # The long budget should land close to optimal — well inside 1+18ε.
+    assert opt <= res.guarantee * res.match_weight + 1e-9
+    assert opt <= 1.3 * res.match_weight
+
+
+def test_azm18_custom_tau(small_forest_instance):
+    res = solve_azm18_mpc(small_forest_instance, 0.25, tau=5)
+    assert res.local_rounds == 5
+
+
+def test_azm18_more_rounds_than_certificate():
+    """The headline comparison: AZM18's bill exceeds the certificate-
+    stopped round count on low-λ instances."""
+    from repro.core.local_driver import solve_fractional_until_certificate
+
+    inst = union_of_forests(100, 80, 2, capacity=2, seed=5)
+    eps = 0.2
+    ours = solve_fractional_until_certificate(inst, eps)
+    theirs = solve_azm18_mpc(inst, eps)
+    assert theirs.mpc_rounds > ours.rounds
+
+
+def test_auction_feasible_and_good(medium_forest_instance):
+    inst = medium_forest_instance
+    res = auction_allocation(inst.graph, inst.capacities, epsilon=0.05)
+    assert_feasible_integral(inst.graph, inst.capacities, res.edge_mask)
+    opt = optimum_value(inst)
+    assert res.size >= opt / 2  # auction with small eps is near-optimal
+
+
+def test_auction_star():
+    inst = star_instance(6, center_capacity=3)
+    res = auction_allocation(inst.graph, inst.capacities)
+    assert res.size == 3
+
+
+def test_auction_prices_monotone():
+    inst = union_of_forests(20, 10, 2, capacity=1, seed=1)
+    res = auction_allocation(inst.graph, inst.capacities)
+    assert np.all(res.prices >= 0)
+    assert res.iterations > 0
+
+
+def test_auction_eps_validated(small_star):
+    with pytest.raises(ValueError):
+        auction_allocation(small_star.graph, small_star.capacities, epsilon=0.0)
+
+
+def test_lazy_baseline_exports():
+    import repro.baselines as b
+
+    assert b.solve_azm18_mpc is solve_azm18_mpc.__wrapped__ if hasattr(
+        solve_azm18_mpc, "__wrapped__"
+    ) else b.solve_azm18_mpc is solve_azm18_mpc
+    assert callable(b.auction_allocation)
+    with pytest.raises(AttributeError):
+        b.does_not_exist

@@ -1,0 +1,114 @@
+"""Tests for the closed-form parameter schedules (repro.core.params)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import params
+
+
+def test_tau_two_approx_monotone_in_lambda():
+    taus = [params.tau_two_approx(lam, 0.1) for lam in (1, 2, 8, 64, 1024)]
+    assert taus == sorted(taus)
+    assert taus[-1] > taus[0]
+
+
+def test_tau_two_approx_matches_formula():
+    lam, eps = 16, 0.25
+    expected = math.ceil(math.log(4 * lam / eps) / math.log(1.25)) + 1
+    assert params.tau_two_approx(lam, eps) == expected
+
+
+def test_tau_two_approx_decreasing_in_eps():
+    assert params.tau_two_approx(8, 0.05) > params.tau_two_approx(8, 0.5)
+
+
+def test_tau_one_plus_eps_dominates_two_approx():
+    # The (1+eps) regime is much longer than the 2-approx regime.
+    assert params.tau_one_plus_eps(1000, 0.1) > params.tau_two_approx(1000, 0.1)
+
+
+def test_tau_azm18_grows_with_n():
+    assert params.tau_azm18(10**6, 0.1) > params.tau_azm18(10**2, 0.1)
+
+
+def test_approx_factors():
+    assert params.approx_factor_two_regime(0.1) == pytest.approx(3.0)
+    assert params.approx_factor_adaptive(0.25, 4.0) == pytest.approx(2 + 16 * 0.25)
+    assert params.approx_factor_one_plus_eps(0.25, 4.0) == pytest.approx(1 + 18 * 0.25)
+    with pytest.raises(ValueError):
+        params.approx_factor_adaptive(0.1, 0.5)
+
+
+def test_block_length_min_of_two_terms():
+    # Tiny λ: the λ term wins and clamps at 1.
+    assert params.block_length(2**30, 2, 0.25, 0.5) >= 1
+    # With divisor 1 the λ dependence is visible.
+    small = params.block_length(2**30, 2**4, 0.25, 0.9, divisor=1)
+    large = params.block_length(2**30, 2**24, 0.25, 0.9, divisor=1)
+    assert large > small
+
+
+def test_block_length_respects_alpha():
+    lo = params.block_length(2**20, 2**30, 0.25, 0.1, divisor=1)
+    hi = params.block_length(2**20, 2**30, 0.25, 0.9, divisor=1)
+    assert hi >= lo
+
+
+def test_block_length_validation():
+    with pytest.raises(ValueError):
+        params.block_length(10, 2, 0.25, 1.5)
+    with pytest.raises(ValueError):
+        params.block_length(10, 2, 0.25, 0.5, divisor=0)
+
+
+def test_sample_size_grows_with_block():
+    assert params.sample_size(4, 0.25, 1000) > params.sample_size(1, 0.25, 1000)
+
+
+def test_lemma11_sample_size():
+    s = params.lemma11_sample_size(2.0, 0.25, 1000)
+    assert s >= 20 * 4 * math.log(1000) / 0.25**4 - 1
+    with pytest.raises(ValueError):
+        params.lemma11_sample_size(0.5, 0.25, 10)
+
+
+def test_lambda_guess_schedule():
+    assert params.lambda_guess(0) == 2
+    assert params.lambda_guess(1) == 16
+    assert params.lambda_guess(2) == 65536
+    sched = params.lambda_guess_schedule(100)
+    assert sched == [2, 16, 65536]
+    with pytest.raises(ValueError):
+        params.lambda_guess(-1)
+
+
+def test_lambda_guess_sqrt_log_doubles():
+    for i in range(4):
+        assert math.sqrt(math.log2(params.lambda_guess(i))) == pytest.approx(2**i)
+
+
+def test_predicted_mpc_rounds_shape():
+    # More blocks per phase → fewer phases → fewer rounds overall.
+    slow = params.predicted_mpc_rounds(100, 1)
+    fast = params.predicted_mpc_rounds(100, 10)
+    assert fast < slow
+
+
+@given(st.integers(1, 2**20), st.sampled_from([0.05, 0.1, 0.25, 0.5, 1.0]))
+@settings(max_examples=50, deadline=None)
+def test_property_tau_budget_positive_and_sane(lam, eps):
+    tau = params.tau_two_approx(lam, eps)
+    assert tau >= 1
+    # The budget must cover the analysis requirement log_{1+eps}(4λ/ε)+1.
+    assert tau >= math.log(4 * lam / eps) / math.log1p(eps)
+
+
+@given(st.integers(2, 2**16), st.sampled_from([0.05, 0.25]), st.floats(0.1, 0.9))
+@settings(max_examples=30, deadline=None)
+def test_property_block_length_valid(n, eps, alpha):
+    b = params.block_length(n, 8, eps, alpha)
+    assert b >= 1

@@ -1,0 +1,79 @@
+"""End-to-end pipeline integration (Theorem 1 / Theorem 3 composed).
+
+The paper's complete algorithm is a composition:
+
+    MPC fractional (2+O(ε))  →  §6 rounding (Θ(1) integral)
+    →  App. B boosting ((1+ε) integral)
+
+This module runs the whole chain on several instance families and
+checks the final quality against the exact oracle, plus determinism of
+the full pipeline given one seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import optimum_value
+from repro.boosting.boost import boost_allocation
+from repro.core.mpc_driver import solve_allocation_mpc
+from repro.graphs.generators import (
+    adwords_instance,
+    load_balancing_instance,
+    union_of_forests,
+)
+from repro.rounding.repair import greedy_fill
+from repro.rounding.sampling import round_best_of
+
+from tests.conftest import assert_feasible_integral
+
+
+def full_pipeline(instance, *, eps_frac=0.2, eps_boost=0.34, seed=0):
+    mpc = solve_allocation_mpc(instance, eps_frac, seed=seed)
+    rounded = round_best_of(
+        instance.graph, instance.capacities, mpc.allocation, seed=seed
+    )
+    repaired = greedy_fill(instance.graph, instance.capacities, rounded.edge_mask, seed=seed)
+    boosted = boost_allocation(instance, repaired, eps_boost, seed=seed)
+    return mpc, boosted
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: union_of_forests(60, 45, 3, capacity=2, seed=8),
+        lambda: load_balancing_instance(80, 10, locality=3, seed=8),
+        lambda: adwords_instance(70, 15, seed=8),
+    ],
+    ids=["forests", "loadbal", "adwords"],
+)
+def test_pipeline_quality(make):
+    inst = make()
+    mpc, boosted = full_pipeline(inst)
+    opt = optimum_value(inst)
+    assert_feasible_integral(inst.graph, inst.capacities, boosted.edge_mask)
+    # Fractional stage within its certified factor.
+    assert opt <= mpc.guarantee * mpc.match_weight + 1e-9
+    # Boosted integral allocation within 1 + 1/k of optimal, with a
+    # small randomized-framework slack.
+    k = boosted.k
+    assert boosted.final_size * (k + 1) >= opt * k * 0.9
+
+
+def test_pipeline_deterministic():
+    inst = union_of_forests(40, 30, 2, capacity=2, seed=1)
+    a = full_pipeline(inst, seed=5)[1]
+    b = full_pipeline(inst, seed=5)[1]
+    assert np.array_equal(a.edge_mask, b.edge_mask)
+
+
+def test_pipeline_monotone_stages():
+    """Each stage may only improve the integral size."""
+    inst = union_of_forests(50, 40, 3, capacity=2, seed=2)
+    mpc = solve_allocation_mpc(inst, 0.2, seed=3)
+    rounded = round_best_of(inst.graph, inst.capacities, mpc.allocation, seed=3)
+    repaired = greedy_fill(inst.graph, inst.capacities, rounded.edge_mask, seed=3)
+    boosted = boost_allocation(inst, repaired, 0.34, seed=3)
+    assert int(repaired.sum()) >= rounded.size
+    assert boosted.final_size >= int(repaired.sum())

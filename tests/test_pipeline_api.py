@@ -1,0 +1,87 @@
+"""Tests for the single-call pipeline API and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import optimum_value
+from repro.cli import main as cli_main
+from repro.core.pipeline import solve_allocation
+from repro.graphs.generators import union_of_forests
+from repro.graphs.io import save_instance
+
+from tests.conftest import assert_feasible_integral
+
+
+def test_solve_allocation_full(medium_forest_instance):
+    inst = medium_forest_instance
+    res = solve_allocation(inst, 0.2, seed=1)
+    assert_feasible_integral(inst.graph, inst.capacities, res.edge_mask)
+    assert res.size == int(res.edge_mask.sum())
+    assert res.size >= res.repaired_size >= res.rounding.size
+    opt = optimum_value(inst)
+    assert res.size * 1.5 >= opt  # boosted to within 1+1/k, k>=4 here
+    summary = res.summary()
+    assert summary["final_size"] == res.size
+    assert summary["mpc_rounds"] >= 1
+
+
+def test_solve_allocation_stages_optional(small_forest_instance):
+    inst = small_forest_instance
+    bare = solve_allocation(inst, 0.2, seed=2, repair=False, boost=False)
+    assert bare.boosting is None
+    assert bare.size == bare.rounding.size
+    with_repair = solve_allocation(inst, 0.2, seed=2, boost=False)
+    assert with_repair.size >= bare.size
+
+
+def test_solve_allocation_deterministic(small_forest_instance):
+    a = solve_allocation(small_forest_instance, 0.2, seed=7)
+    b = solve_allocation(small_forest_instance, 0.2, seed=7)
+    assert np.array_equal(a.edge_mask, b.edge_mask)
+
+
+def test_solve_allocation_epsilon_capped(small_forest_instance):
+    with pytest.raises(ValueError):
+        solve_allocation(small_forest_instance, 0.5)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_generate_writes_instance(tmp_path, capsys):
+    path = tmp_path / "inst.json"
+    assert cli_main([
+        "generate", "union_of_forests", "--out", str(path),
+        "--n-left", "30", "--n-right", "24", "--k", "2", "--seed", "3",
+    ]) == 0
+    assert path.exists()
+    assert "forests(k=2)" in capsys.readouterr().out
+
+
+def test_cli_info_fields(tmp_path, capsys):
+    inst = union_of_forests(20, 16, 2, seed=0)
+    path = tmp_path / "i.json"
+    save_instance(inst, path)
+    assert cli_main(["info", str(path)]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["n_left"] == 20
+    assert out["degeneracy"] >= 1
+
+
+def test_cli_solve_with_opt(tmp_path, capsys):
+    inst = union_of_forests(25, 20, 2, capacity=2, seed=1)
+    path = tmp_path / "i.json"
+    save_instance(inst, path)
+    assert cli_main(["solve", str(path), "--epsilon", "0.2", "--with-opt"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["result"]["final_size"] >= 1
+    assert out["result"]["ratio"] >= 1.0
+
+
+def test_cli_generate_unknown_family(tmp_path, capsys):
+    assert cli_main(["generate", "nope", "--out", str(tmp_path / "x.json")]) == 2

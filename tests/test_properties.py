@@ -1,0 +1,110 @@
+"""Tests for the structural profile module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import build_graph
+from repro.graphs.generators import (
+    cycle_instance,
+    grid_instance,
+    star_instance,
+    union_of_forests,
+)
+from repro.graphs.properties import (
+    DegreeProfile,
+    bfs_eccentricity,
+    component_sizes,
+    connected_components,
+    degree_profile,
+    diameter_lower_bound,
+    profile_graph,
+)
+
+
+def test_degree_profile_star():
+    inst = star_instance(6)
+    left, right = degree_profile(inst.graph)
+    assert left.maximum == 1 and left.minimum == 1
+    assert right.maximum == 6
+    assert right.isolated == 0
+
+
+def test_degree_profile_empty():
+    p = DegreeProfile.from_degrees(np.empty(0, dtype=np.int64))
+    assert p.maximum == 0 and p.isolated == 0
+
+
+def test_components_disjoint_edges():
+    g = build_graph(3, 3, [0, 1, 2], [0, 1, 2])
+    labels = connected_components(g)
+    assert len(set(labels.tolist())) == 3
+    assert component_sizes(g).tolist() == [2, 2, 2]
+
+
+def test_components_with_isolated():
+    g = build_graph(2, 2, [0], [0])
+    sizes = component_sizes(g)
+    assert sizes.tolist() == [2, 1, 1]
+
+
+def test_components_connected_star():
+    inst = star_instance(5)
+    assert component_sizes(inst.graph).tolist() == [6]
+
+
+def test_eccentricity_path():
+    # P4: L0-R0-L1-R1; ecc from L0 (merged id 0) = 3.
+    g = build_graph(2, 2, [0, 1, 1], [0, 0, 1])
+    assert bfs_eccentricity(g, 0) == 3
+    assert bfs_eccentricity(g, 2) == 2  # R0 is central
+
+
+def test_diameter_lower_bound_path():
+    g = build_graph(2, 2, [0, 1, 1], [0, 0, 1])
+    assert diameter_lower_bound(g) == 3
+
+
+def test_diameter_lower_bound_cycle():
+    inst = cycle_instance(6)  # C12: diameter 6
+    assert diameter_lower_bound(inst.graph) == 6
+
+
+def test_diameter_empty():
+    assert diameter_lower_bound(build_graph(2, 2, [], [])) == 0
+
+
+def test_profile_graph_full():
+    inst = grid_instance(4, 5)
+    prof = profile_graph(inst.graph)
+    assert prof.m == inst.graph.n_edges
+    assert prof.degeneracy == 2
+    assert prof.n_components == 1
+    assert prof.largest_component == 20
+    d = prof.as_dict()
+    assert d["degeneracy"] == 2
+    assert d["diameter_lb"] >= 7  # grid 4x5 diameter = 7
+
+
+def test_profile_supports_log_lambda_vs_diameter_story():
+    """The regime the paper targets: log λ far below the diameter."""
+    inst = grid_instance(12, 12)
+    prof = profile_graph(inst.graph)
+    assert prof.degeneracy <= 3
+    assert prof.diameter_lower_bound >= 20
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_property_components_partition(seed):
+    inst = union_of_forests(10, 8, 2, seed=seed)
+    labels = connected_components(inst.graph)
+    assert labels.shape == (18,)
+    assert labels.min() >= 0
+    # Endpoints of every edge share a label.
+    ea, eb = inst.graph.undirected_edges()
+    assert np.all(labels[ea] == labels[eb])
+    # Sizes sum to n.
+    assert int(component_sizes(inst.graph).sum()) == 18

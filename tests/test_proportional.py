@@ -1,0 +1,243 @@
+"""Tests for the Algorithm 1/3 dynamics (repro.core.proportional)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.proportional import (
+    ConstantThresholds,
+    ProportionalRun,
+    ReplayThresholds,
+    compute_x_alloc,
+    match_weight_from_alloc,
+)
+from repro.graphs import build_graph
+from repro.graphs.generators import (
+    complete_bipartite_instance,
+    star_instance,
+    union_of_forests,
+)
+
+from tests.conftest import assert_feasible_fractional
+
+
+def make_run(inst, eps=0.25, thresholds=None):
+    return ProportionalRun(inst.graph, inst.capacities, eps, thresholds=thresholds)
+
+
+def reference_round(graph, capacities, beta_exp, eps):
+    """Straightforward per-vertex reimplementation of lines 2-4 used as
+    an oracle against the vectorized fast path."""
+    beta = (1.0 + eps) ** beta_exp.astype(np.float64)
+    x = {}
+    for u in range(graph.n_left):
+        nbrs = graph.left_neighbors(u)
+        if nbrs.size == 0:
+            continue
+        denom = beta[nbrs].sum()
+        for v in nbrs.tolist():
+            x[(u, v)] = beta[v] / denom
+    alloc = np.zeros(graph.n_right)
+    for (u, v), val in x.items():
+        alloc[v] += val
+    decisions = np.zeros(graph.n_right, dtype=np.int64)
+    for v in range(graph.n_right):
+        if alloc[v] <= capacities[v] / (1 + eps):
+            decisions[v] = 1
+        elif alloc[v] >= capacities[v] * (1 + eps):
+            decisions[v] = -1
+    return x, alloc, decisions
+
+
+def test_single_round_star_uniform_split():
+    inst = star_instance(4, center_capacity=2)
+    run = make_run(inst, eps=0.5)
+    run.step()
+    # Every leaf sends its whole unit to the unique center.
+    assert np.allclose(run.x_slots, 1.0)
+    assert np.allclose(run.alloc, [4.0])
+    # alloc=4 ≥ 2·1.5 ⇒ β decreases.
+    assert run.beta_exp.tolist() == [-1]
+
+
+def test_two_centers_proportional_split():
+    # One left vertex, two right vertices with β exponents 1 and 0.
+    g = build_graph(1, 2, [0, 0], [0, 1])
+    caps = np.array([1, 1])
+    run = ProportionalRun(g, caps, 0.5)
+    run.beta_exp = np.array([1, 0], dtype=np.int64)
+    x, alloc = run.compute_x_alloc()
+    # β = (1.5, 1.0) ⇒ x = (0.6, 0.4).
+    assert np.allclose(x, [0.6, 0.4])
+    assert np.allclose(alloc, [0.6, 0.4])
+
+
+def test_vectorized_matches_reference_oracle(small_forest_instance):
+    inst = small_forest_instance
+    eps = 0.3
+    run = make_run(inst, eps)
+    for _ in range(6):
+        beta_before = run.beta_exp.copy()
+        _, alloc_ref, dec_ref = reference_round(
+            inst.graph, inst.capacities.astype(float), beta_before, eps
+        )
+        decisions = run.step()
+        assert np.allclose(run.alloc, alloc_ref, atol=1e-9)
+        assert np.array_equal(decisions, dec_ref)
+
+
+def test_isolated_right_vertex_rises_forever():
+    g = build_graph(1, 2, [0], [0])  # right vertex 1 isolated
+    run = ProportionalRun(g, np.array([1, 1]), 0.25)
+    run.run(5)
+    assert run.beta_exp[1] == 5
+    assert run.top_level_mask()[1]
+
+
+def test_isolated_left_vertex_ignored():
+    g = build_graph(2, 1, [0], [0])  # left vertex 1 isolated
+    run = ProportionalRun(g, np.array([1]), 0.25)
+    run.run(3)
+    assert run.alloc[0] == pytest.approx(1.0)
+
+
+def test_no_overflow_with_huge_exponent_spread():
+    # Exponent gap of ±5000 would overflow naive (1+ε)^b computation.
+    g = build_graph(1, 2, [0, 0], [0, 1])
+    run = ProportionalRun(g, np.array([1, 1]), 0.25)
+    run.beta_exp = np.array([5000, -5000], dtype=np.int64)
+    x, alloc = run.compute_x_alloc()
+    assert np.all(np.isfinite(x))
+    assert x[0] == pytest.approx(1.0)
+    assert x[1] == pytest.approx(0.0)
+
+
+def test_level_bookkeeping():
+    inst = union_of_forests(10, 8, 2, seed=0)
+    run = make_run(inst, 0.25)
+    run.run(4)
+    levels = run.level_indices()
+    assert levels.min() >= 0 and levels.max() <= 8
+    hist = run.level_histogram()
+    assert hist.sum() == inst.graph.n_right
+    assert hist.shape == (9,)
+    assert int(run.top_level_mask().sum()) == hist[8]
+    assert int(run.bottom_level_mask().sum()) == hist[0]
+
+
+def test_beta_moves_at_most_one_per_round(medium_forest_instance):
+    run = make_run(medium_forest_instance, 0.2)
+    prev = run.beta_exp.copy()
+    for _ in range(5):
+        run.step()
+        assert np.all(np.abs(run.beta_exp - prev) <= 1)
+        prev = run.beta_exp.copy()
+
+
+def test_decide_thresholds_mutually_exclusive(medium_forest_instance):
+    run = make_run(medium_forest_instance, 0.2)
+    run.step()
+    d = run.last_decisions
+    assert set(np.unique(d)).issubset({-1, 0, 1})
+
+
+def test_output_allocation_feasible(medium_forest_instance):
+    inst = medium_forest_instance
+    run = make_run(inst, 0.2)
+    run.run(10)
+    out = run.fractional_allocation()
+    assert_feasible_fractional(inst.graph, inst.capacities, out.x)
+    assert out.weight == pytest.approx(run.match_weight(), abs=1e-6)
+
+
+def test_match_weight_from_alloc():
+    caps = np.array([2.0, 1.0])
+    alloc = np.array([3.0, 0.5])
+    assert match_weight_from_alloc(caps, alloc) == pytest.approx(2.5)
+
+
+def test_requires_started():
+    inst = star_instance(3)
+    run = make_run(inst)
+    with pytest.raises(RuntimeError):
+        run.match_weight()
+    with pytest.raises(RuntimeError):
+        run.fractional_allocation()
+
+
+def test_run_negative_rejected(small_star):
+    with pytest.raises(ValueError):
+        make_run(small_star).run(-1)
+
+
+def test_step_with_decisions_validates(small_star):
+    run = make_run(small_star)
+    with pytest.raises(ValueError):
+        run.step_with_decisions(np.array([5]))
+    with pytest.raises(ValueError):
+        run.step_with_decisions(np.zeros(7, dtype=np.int64))
+
+
+def test_step_with_decisions_applies(small_star):
+    run = make_run(small_star)
+    run.step_with_decisions(np.array([1], dtype=np.int64))
+    assert run.beta_exp.tolist() == [1]
+    assert run.rounds_completed == 1
+
+
+def test_constant_thresholds_validation():
+    with pytest.raises(ValueError):
+        ConstantThresholds(0.0)
+
+
+def test_replay_thresholds():
+    sched = ReplayThresholds(table=[np.array([2.0, 2.0])])
+    assert sched.thresholds(0, 2).tolist() == [2.0, 2.0]
+    with pytest.raises(IndexError):
+        sched.thresholds(1, 2)
+    with pytest.raises(ValueError):
+        sched.thresholds(0, 3)
+
+
+def test_adaptive_thresholds_change_dynamics(medium_forest_instance):
+    inst = medium_forest_instance
+    base = make_run(inst, 0.2).run(8)
+    loose = ProportionalRun(
+        inst.graph, inst.capacities, 0.2, thresholds=ConstantThresholds(4.0)
+    ).run(8)
+    # Loose thresholds keep more vertices in the middle band.
+    assert int((loose.beta_exp == 0).sum()) >= int((base.beta_exp == 0).sum())
+
+
+def test_complete_bipartite_converges_to_balanced():
+    # K_{4,4} capacity 1: symmetric instance, alloc should settle near 1.
+    inst = complete_bipartite_instance(4, 4, capacity=1)
+    run = make_run(inst, 0.25)
+    run.run(20)
+    assert np.allclose(run.alloc, 1.0, atol=0.3)
+
+
+@given(st.integers(0, 2**31 - 1), st.sampled_from([0.1, 0.25, 0.5, 1.0]))
+@settings(max_examples=20, deadline=None)
+def test_property_x_is_left_normalized(seed, eps):
+    inst = union_of_forests(12, 9, 2, seed=seed)
+    run = ProportionalRun(inst.graph, inst.capacities, eps)
+    run.run(1 + seed % 5)
+    left_loads = np.bincount(
+        inst.graph.edge_u, weights=run.x_slots, minlength=inst.graph.n_left
+    )
+    nonisolated = inst.graph.left_degrees > 0
+    assert np.allclose(left_loads[nonisolated], 1.0, atol=1e-9)
+    assert np.allclose(left_loads[~nonisolated], 0.0)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_property_alloc_conserves_left_mass(seed):
+    inst = union_of_forests(10, 10, 2, seed=seed)
+    run = ProportionalRun(inst.graph, inst.capacities, 0.25)
+    run.run(3)
+    n_active = int((inst.graph.left_degrees > 0).sum())
+    assert run.alloc.sum() == pytest.approx(n_active, abs=1e-9)

@@ -1,0 +1,130 @@
+"""Tests for the §6 rounding procedure and the repair extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import optimum_value
+from repro.core.fractional import FractionalAllocation
+from repro.core.local_driver import solve_fractional_fixed_tau
+from repro.rounding.repair import greedy_fill
+from repro.rounding.sampling import (
+    EXPECTATION_FACTOR,
+    default_copies,
+    expected_size_lower_bound,
+    round_best_of,
+    round_once,
+)
+from repro.graphs.generators import star_instance, union_of_forests
+
+from tests.conftest import assert_feasible_integral
+
+
+def fractional_for(inst, eps=0.25):
+    return solve_fractional_fixed_tau(inst, eps).allocation
+
+
+def test_round_once_feasible(medium_forest_instance):
+    inst = medium_forest_instance
+    frac = fractional_for(inst)
+    out = round_once(inst.graph, inst.capacities, frac, seed=0)
+    assert_feasible_integral(inst.graph, inst.capacities, out.edge_mask)
+    # Survivors are a subset of the sample.
+    assert np.all(~out.edge_mask | out.sampled_mask)
+
+
+def test_round_once_drops_heavy(small_star):
+    # Fractional allocation putting mass 1 on each star edge: with
+    # capacity 3 and 6 leaves, heavy centers must lose all edges.
+    inst = star_instance(6, center_capacity=1)
+    frac = FractionalAllocation(x=np.full(6, 1.0 / 6))
+    hits = 0
+    for seed in range(200):
+        out = round_once(inst.graph, inst.capacities, frac, seed=seed)
+        assert_feasible_integral(inst.graph, inst.capacities, out.edge_mask)
+        if out.heavy_right[0]:
+            assert out.size == 0
+            hits += 1
+    # Heaviness must occur sometimes but not always.
+    assert 0 < hits < 200
+
+
+def test_expectation_bound_monte_carlo():
+    """E[|M|] ≥ wt(M_f)/9 (§6) within Monte-Carlo error."""
+    inst = union_of_forests(60, 40, 3, capacity=2, seed=2)
+    frac = fractional_for(inst)
+    trials = 400
+    sizes = [
+        round_once(inst.graph, inst.capacities, frac, seed=s).size
+        for s in range(trials)
+    ]
+    mean = float(np.mean(sizes))
+    bound = expected_size_lower_bound(frac.weight)
+    # Allow 3 standard errors of slack below the bound.
+    se = float(np.std(sizes)) / np.sqrt(trials)
+    assert mean >= bound - 3 * se
+
+
+def test_round_best_of_improves_on_median(medium_forest_instance):
+    inst = medium_forest_instance
+    frac = fractional_for(inst)
+    singles = [
+        round_once(inst.graph, inst.capacities, frac, seed=s).size for s in range(16)
+    ]
+    best = round_best_of(inst.graph, inst.capacities, frac, copies=16, seed=0)
+    assert best.size >= int(np.median(singles))
+    assert_feasible_integral(inst.graph, inst.capacities, best.edge_mask)
+
+
+def test_default_copies_logarithmic():
+    assert default_copies(2) >= 1
+    assert default_copies(10**6) > default_copies(10**2)
+
+
+def test_round_shape_mismatch(small_star):
+    with pytest.raises(ValueError):
+        round_once(
+            small_star.graph, small_star.capacities,
+            FractionalAllocation(x=np.zeros(3)), seed=0,
+        )
+
+
+def test_greedy_fill_extends_to_maximal(medium_forest_instance):
+    from repro.baselines.greedy import is_maximal_allocation
+
+    inst = medium_forest_instance
+    frac = fractional_for(inst)
+    out = round_best_of(inst.graph, inst.capacities, frac, copies=4, seed=1)
+    filled = greedy_fill(inst.graph, inst.capacities, out.edge_mask, seed=2)
+    assert filled.sum() >= out.size
+    assert_feasible_integral(inst.graph, inst.capacities, filled)
+    assert is_maximal_allocation(inst.graph, inst.capacities, filled)
+
+
+def test_greedy_fill_rejects_infeasible(small_star):
+    bad = np.ones(small_star.graph.n_edges, dtype=bool)
+    with pytest.raises(ValueError):
+        greedy_fill(small_star.graph, small_star.capacities, bad)
+
+
+def test_end_to_end_constant_factor():
+    """Fractional (2+10ε) → rounded+repaired integral stays within a
+    modest constant of OPT across seeds."""
+    for seed in range(3):
+        inst = union_of_forests(40, 30, 2, capacity=2, seed=seed)
+        frac = fractional_for(inst)
+        out = round_best_of(inst.graph, inst.capacities, frac, seed=seed)
+        filled = greedy_fill(inst.graph, inst.capacities, out.edge_mask, seed=seed)
+        opt = optimum_value(inst)
+        assert int(filled.sum()) * 2 >= opt  # repair gives maximality ⇒ ½-approx
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_property_rounding_feasible(seed):
+    inst = union_of_forests(15, 12, 2, capacity=2, seed=seed)
+    frac = fractional_for(inst)
+    out = round_once(inst.graph, inst.capacities, frac, seed=seed)
+    assert_feasible_integral(inst.graph, inst.capacities, out.edge_mask)

@@ -1,0 +1,241 @@
+"""Tests for the termination certificate, LOCAL drivers, and the
+theorem-level approximation guarantees (T9, T20, remark after T9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import optimum_value
+from repro.core import params
+from repro.core.local_driver import (
+    resolve_lambda_bound,
+    solve_fractional_fixed_tau,
+    solve_fractional_one_plus_eps,
+    solve_fractional_until_certificate,
+)
+from repro.core.proportional import ProportionalRun
+from repro.core.termination import evaluate_certificate, neighbors_of_right_set
+from repro.core.trace import run_with_trace
+from repro.graphs import build_graph
+from repro.graphs.generators import (
+    complete_bipartite_instance,
+    erdos_renyi_instance,
+    grid_instance,
+    load_balancing_instance,
+    star_instance,
+    union_of_forests,
+)
+
+from tests.conftest import assert_feasible_fractional, small_instance_zoo
+
+
+# ----------------------------------------------------------------------
+# neighbors_of_right_set
+# ----------------------------------------------------------------------
+
+def test_neighbors_of_right_set_basic(path_graph):
+    mask = np.array([True, False])
+    out = neighbors_of_right_set(path_graph, mask)
+    assert out.tolist() == [True, True]
+    mask = np.array([False, True])
+    assert neighbors_of_right_set(path_graph, mask).tolist() == [False, True]
+
+
+def test_neighbors_of_right_set_empty(path_graph):
+    out = neighbors_of_right_set(path_graph, np.zeros(2, dtype=bool))
+    assert not out.any()
+
+
+def test_neighbors_shape_checked(path_graph):
+    with pytest.raises(ValueError):
+        neighbors_of_right_set(path_graph, np.zeros(3, dtype=bool))
+
+
+# ----------------------------------------------------------------------
+# Certificate behaviour
+# ----------------------------------------------------------------------
+
+def test_certificate_requires_a_round(small_star):
+    run = ProportionalRun(small_star.graph, small_star.capacities, 0.25)
+    with pytest.raises(RuntimeError):
+        evaluate_certificate(run)
+
+
+def test_certificate_on_underloaded_instance_fires_immediately():
+    # Huge capacities: every v under-allocated forever; total allocated
+    # mass equals |N'| so the mass condition holds after round 1.
+    inst = union_of_forests(20, 10, 2, capacity=50, seed=1)
+    run = ProportionalRun(inst.graph, inst.capacities, 0.25)
+    run.step()
+    cert = evaluate_certificate(run)
+    assert cert.mass_condition
+    assert cert.satisfied
+
+
+def test_certificate_counts(path_graph):
+    run = ProportionalRun(path_graph, np.array([1, 1]), 0.25)
+    run.step()
+    cert = evaluate_certificate(run)
+    assert cert.rounds == 1
+    assert 0 <= cert.n_prime <= 2
+    assert cert.top_size + cert.l0_size <= 2 + int((run.beta_exp == 0).sum())
+
+
+def test_certificate_soundness_guarantee():
+    """Certificate satisfied ⇒ OPT ≤ (2+10ε)·MatchWeight (the remark's
+    soundness direction), verified against the exact OPT oracle."""
+    eps = 0.2
+    for seed in range(4):
+        inst = union_of_forests(25, 18, 3, capacity=2, seed=seed)
+        res = solve_fractional_until_certificate(inst, eps)
+        assert res.certificate is not None and res.certificate.satisfied
+        opt = optimum_value(inst)
+        assert opt <= (2 + 10 * eps) * res.match_weight + 1e-9
+
+
+def test_certificate_fires_by_theorem_round_bound():
+    """Certificate must fire within ⌈log_{1+ε}(4λ/ε)⌉+1 rounds (remark
+    after Theorem 9)."""
+    eps = 0.25
+    for k in (1, 2, 4):
+        inst = union_of_forests(40, 30, k, capacity=2, seed=k)
+        bound = params.tau_two_approx(k, eps)
+        res = solve_fractional_until_certificate(inst, eps)
+        assert res.rounds <= bound
+
+
+# ----------------------------------------------------------------------
+# Fixed-τ driver and Theorem 9
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("inst", small_instance_zoo(), ids=lambda i: i.name)
+def test_theorem9_guarantee_across_zoo(inst):
+    eps = 0.25
+    res = solve_fractional_fixed_tau(inst, eps)
+    assert res.guarantee == pytest.approx(2 + 10 * eps)
+    opt = optimum_value(inst)
+    assert opt <= res.guarantee * res.match_weight + 1e-9
+    assert_feasible_fractional(inst.graph, inst.capacities, res.allocation.x)
+
+
+@pytest.mark.parametrize("eps", [0.1, 0.25, 0.5])
+def test_theorem9_guarantee_eps_sweep(eps):
+    inst = union_of_forests(30, 24, 2, capacity=2, seed=13)
+    res = solve_fractional_fixed_tau(inst, eps)
+    opt = optimum_value(inst)
+    assert opt <= (2 + 10 * eps) * res.match_weight + 1e-9
+
+
+def test_fixed_tau_respects_explicit_budget(small_forest_instance):
+    res = solve_fractional_fixed_tau(small_forest_instance, 0.25, tau=3)
+    assert res.rounds == 3
+    # Short budget ⇒ no certificate of the 2+10ε factor.
+    assert res.guarantee is None
+
+
+def test_fixed_tau_uses_lambda_bound(small_forest_instance):
+    res = solve_fractional_fixed_tau(small_forest_instance, 0.25)
+    expected = params.tau_two_approx(
+        resolve_lambda_bound(small_forest_instance), 0.25
+    )
+    assert res.rounds == expected
+
+
+def test_resolve_lambda_bound_prefers_certificate():
+    inst = union_of_forests(10, 10, 3, seed=0)
+    assert resolve_lambda_bound(inst) == 3
+    anon = erdos_renyi_instance(10, 10, 30, seed=0)
+    assert resolve_lambda_bound(anon) >= 1
+
+
+def test_record_trace(small_forest_instance):
+    res = solve_fractional_fixed_tau(small_forest_instance, 0.25, record_trace=True)
+    assert res.trace is not None
+    assert res.trace.rounds == res.rounds
+    assert len(res.trace.match_weights()) == res.rounds
+
+
+# ----------------------------------------------------------------------
+# (1+ε) regime (Theorem 20 with k=1)
+# ----------------------------------------------------------------------
+
+def test_one_plus_eps_much_tighter_than_two_approx():
+    inst = union_of_forests(30, 20, 2, capacity=2, seed=3)
+    eps = 0.25
+    res = solve_fractional_one_plus_eps(inst, eps)
+    opt = optimum_value(inst)
+    assert opt <= res.guarantee * res.match_weight + 1e-9
+    # Empirically the long regime should land well inside 1.5x.
+    assert opt <= 1.5 * res.match_weight + 1e-9
+
+
+def test_one_plus_eps_star():
+    inst = star_instance(8, center_capacity=4)
+    res = solve_fractional_one_plus_eps(inst, 0.25)
+    assert res.match_weight == pytest.approx(4.0, rel=0.3)
+
+
+# ----------------------------------------------------------------------
+# λ-sensitivity of the round count (the paper's headline shape)
+# ----------------------------------------------------------------------
+
+def test_rounds_track_lambda_not_n():
+    """Same λ, n growing 8x ⇒ certificate round roughly flat; growing λ
+    at fixed n ⇒ round count grows.  This is Theorem 9's shape (E1/E3
+    validate it at scale)."""
+    eps = 0.25
+    rounds_by_n = []
+    for n in (40, 320):
+        inst = union_of_forests(n, n, 2, capacity=2, seed=5)
+        res = solve_fractional_until_certificate(inst, eps)
+        rounds_by_n.append(res.rounds)
+    assert rounds_by_n[1] <= rounds_by_n[0] + 5  # flat-ish in n
+
+    rounds_by_k = []
+    for k in (1, 8):
+        inst = union_of_forests(100, 100, k, capacity=2, seed=6)
+        res = solve_fractional_until_certificate(inst, eps)
+        rounds_by_k.append(res.rounds)
+    # More arboricity may need more rounds but stays within the bound.
+    assert rounds_by_k[1] <= params.tau_two_approx(8, eps)
+
+
+# ----------------------------------------------------------------------
+# Trace helper
+# ----------------------------------------------------------------------
+
+def test_run_with_trace_records_everything(small_forest_instance):
+    inst = small_forest_instance
+    run = ProportionalRun(inst.graph, inst.capacities, 0.25)
+    trace = run_with_trace(run, 5)
+    assert trace.rounds == 5
+    rec = trace.records[-1]
+    assert rec.round_index == 5
+    assert rec.n_increased + rec.n_decreased + rec.n_kept == inst.graph.n_right
+    assert 0.0 <= rec.saturated_fraction <= 1.0
+    assert rec.level_histogram.sum() == inst.graph.n_right
+
+
+def test_trace_certificate_round(small_forest_instance):
+    inst = small_forest_instance
+    run = ProportionalRun(inst.graph, inst.capacities, 0.25)
+    trace = run_with_trace(run, 25)
+    fired = trace.certificate_rounds()
+    assert fired is not None
+    assert fired <= 25
+
+
+# ----------------------------------------------------------------------
+# Property: Theorem 9 on random low-arboricity instances
+# ----------------------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 3))
+@settings(max_examples=10, deadline=None)
+def test_property_theorem9(seed, k):
+    eps = 0.25
+    inst = union_of_forests(16, 12, k, capacity=2, seed=seed)
+    res = solve_fractional_fixed_tau(inst, eps, lam=k)
+    opt = optimum_value(inst)
+    assert opt <= (2 + 10 * eps) * res.match_weight + 1e-9

@@ -1,0 +1,136 @@
+"""Tests for the shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngFactory,
+    as_generator,
+    choice_without_replacement,
+    permutation_inverse,
+    spawn,
+)
+from repro.utils.tables import Table, geometric_mean, summarize_series
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_integer_array,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+def test_as_generator_passthrough():
+    g = np.random.default_rng(0)
+    assert as_generator(g) is g
+
+
+def test_as_generator_from_int_deterministic():
+    a = as_generator(42).integers(0, 1000, 5)
+    b = as_generator(42).integers(0, 1000, 5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_independence_and_determinism():
+    kids_a = spawn(7, 3)
+    kids_b = spawn(7, 3)
+    vals_a = [g.integers(0, 10**9) for g in kids_a]
+    vals_b = [g.integers(0, 10**9) for g in kids_b]
+    assert vals_a == vals_b
+    assert len(set(vals_a)) == 3  # overwhelmingly likely distinct
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn(0, -1)
+
+
+def test_rng_factory_keyed_reproducibility():
+    f = RngFactory(123)
+    x = f.get(1, 2, 3).integers(0, 10**9)
+    y = f.get(1, 2, 3).integers(0, 10**9)
+    z = f.get(1, 2, 4).integers(0, 10**9)
+    assert x == y
+    assert x != z
+
+
+def test_rng_factory_rejects_non_int_keys():
+    f = RngFactory(0)
+    with pytest.raises(TypeError):
+        f.get("a")  # type: ignore[arg-type]
+
+
+def test_permutation_inverse():
+    perm = np.array([2, 0, 1])
+    inv = permutation_inverse(perm)
+    assert np.array_equal(perm[inv], np.arange(3))
+
+
+def test_choice_without_replacement_degenerates():
+    rng = np.random.default_rng(0)
+    full = choice_without_replacement(rng, 5, 10)
+    assert np.array_equal(full, np.arange(5))
+    sub = choice_without_replacement(rng, 100, 10)
+    assert len(set(sub.tolist())) == 10
+
+
+def test_table_rendering():
+    t = Table(title="demo")
+    t.add_row(a=1, b=2.5)
+    t.add_row(a=3, c="x")
+    t.add_note("a note")
+    ascii_out = t.to_ascii()
+    assert "demo" in ascii_out and "a note" in ascii_out
+    md = t.to_markdown()
+    assert md.count("|") > 4
+    assert t.column("a") == [1, 3]
+    assert t.column("c") == [None, "x"]
+    js = t.to_json()
+    assert '"title"' in js
+
+
+def test_summarize_series():
+    s = summarize_series([1.0, 2.0, 3.0])
+    assert s["mean"] == 2.0 and s["min"] == 1.0 and s["max"] == 3.0
+    with pytest.raises(ValueError):
+        summarize_series([])
+
+
+def test_geometric_mean():
+    assert abs(geometric_mean([1, 4]) - 2.0) < 1e-12
+    with pytest.raises(ValueError):
+        geometric_mean([0.0, 1.0])
+
+
+def test_validators():
+    assert check_positive_int(3, "x") == 3
+    with pytest.raises(ValueError):
+        check_positive_int(0, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(1.5, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(True, "x")
+    assert check_nonnegative_int(0, "x") == 0
+    assert check_fraction(0.25, "eps") == 0.25
+    with pytest.raises(ValueError):
+        check_fraction(0.0, "eps")
+    with pytest.raises(ValueError):
+        check_fraction(float("nan"), "eps")
+    assert check_probability(0.0, "p") == 0.0
+    with pytest.raises(ValueError):
+        check_probability(1.5, "p")
+    assert check_in_range(2.0, "v", 1, 3) == 2.0
+    with pytest.raises(ValueError):
+        check_in_range(5, "v", 1, 3)
+
+
+def test_check_integer_array_coercions():
+    out = check_integer_array(np.array([1.0, 2.0]), "arr")
+    assert out.dtype == np.int64
+    with pytest.raises(ValueError):
+        check_integer_array(np.array([1.5]), "arr")
+    with pytest.raises(TypeError):
+        check_integer_array(np.array(["a"]), "arr")
