@@ -1,0 +1,18 @@
+"""Benchmark scale selection, importable without pytest.
+
+Shared by ``benchmarks/conftest.py`` (the pytest-benchmark path) and
+``benchmarks/bench_kernels.py`` script mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_scale"]
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "normal")
+    if scale not in ("smoke", "normal", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/normal/full, got {scale!r}")
+    return scale

@@ -4,68 +4,199 @@ These are classical pytest-benchmark timings (many iterations) of the
 inner loops the experiments spend their time in — useful for tracking
 performance regressions of the library itself, orthogonal to the
 scientific tables.
+
+The kernel-backend section benchmarks the shared round kernel
+(DESIGN.md §6) under both registered backends.  Run this module as a
+script to regenerate ``BENCH_kernels.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--scale full]
+
+The JSON records per-size round-kernel timings for the reference
+backend (operation-identical to the seed implementation) and the
+optimized backend, plus a ``solve_allocation_many`` batch timing.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
-from benchmarks.conftest import bench_scale
+import numpy as np
+
+try:  # pytest-benchmark path (optional; the script path needs neither)
+    import pytest
+except ImportError:  # pragma: no cover - script-only environments
+    pytest = None
+
+if not __package__:  # invoked as a script: self-contained path setup
+    _root = Path(__file__).resolve().parents[1]
+    sys.path.insert(0, str(_root))          # for benchmarks._scale
+    sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
+from benchmarks._scale import bench_scale
 from repro.baselines.exact import solve_exact
+from repro.core.local_driver import solve_fractional_fixed_tau
+from repro.core.pipeline import solve_allocation_many
 from repro.core.proportional import ProportionalRun
 from repro.core.sampled import SampledRun
 from repro.graphs.arboricity import core_numbers
 from repro.graphs.generators import union_of_forests
+from repro.kernels import use_backend
 from repro.rounding.sampling import round_once
-from repro.core.local_driver import solve_fractional_fixed_tau
 
-_N = {"smoke": 200, "normal": 2000, "full": 20000}[bench_scale()]
-
-
-@pytest.fixture(scope="module")
-def instance():
-    return union_of_forests(_N, _N, 4, capacity=2, seed=0)
+_SIZES = {"smoke": [200], "normal": [200, 2000], "full": [200, 2000, 20000]}
+_N = _SIZES[bench_scale()][-1]  # pytest path benchmarks the scale's largest size
 
 
-def test_kernel_proportional_round(benchmark, instance):
-    """One vectorized Algorithm-1 round (the O(m) inner loop)."""
-    run = ProportionalRun(instance.graph, instance.capacities, 0.1)
-    run.step()
-    benchmark(run.step)
-    assert run.rounds_completed > 1
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def instance():
+        return union_of_forests(_N, _N, 4, capacity=2, seed=0)
+
+    def test_kernel_proportional_round(benchmark, instance):
+        """One vectorized Algorithm-1 round (the O(m) inner loop)."""
+        run = ProportionalRun(instance.graph, instance.capacities, 0.1)
+        run.step()
+        benchmark(run.step)
+        assert run.rounds_completed > 1
+
+    @pytest.mark.parametrize("backend", ["reference", "optimized"])
+    def test_kernel_round_by_backend(benchmark, instance, backend):
+        """The round kernel under each registered backend."""
+        with use_backend(backend):
+            run = ProportionalRun(instance.graph, instance.capacities, 0.1)
+            run.step()
+            benchmark(run.step)
+        assert run.rounds_completed > 1
+
+    def test_kernel_sampled_phase(benchmark, instance):
+        """One Algorithm-2 phase (grouping + sampling + B rounds)."""
+        run = SampledRun(
+            instance.graph, instance.capacities, 0.25, block=3, sample_budget=16,
+            sampler="fast", seed=0, record_estimates=False,
+        )
+        benchmark.pedantic(run.run_phase, rounds=3, iterations=1)
+        assert run.phases_completed >= 3
+
+    def test_kernel_degeneracy(benchmark, instance):
+        ea, eb = instance.graph.undirected_edges()
+        n = instance.graph.n_vertices
+        result = benchmark(lambda: int(core_numbers(n, ea, eb).max()))
+        assert result >= 1
+
+    def test_kernel_exact_optimum(benchmark, instance):
+        """The Dinic OPT oracle on the benchmark instance."""
+        result = benchmark.pedantic(
+            lambda: solve_exact(instance.graph, instance.capacities).value,
+            rounds=1,
+            iterations=1,
+        )
+        assert result > 0
+
+    def test_kernel_rounding(benchmark, instance):
+        frac = solve_fractional_fixed_tau(instance, 0.25).allocation
+        out = benchmark(
+            lambda: round_once(instance.graph, instance.capacities, frac, seed=1).size
+        )
+        assert out >= 0
 
 
-def test_kernel_sampled_phase(benchmark, instance):
-    """One Algorithm-2 phase (grouping + sampling + B rounds)."""
-    run = SampledRun(
-        instance.graph, instance.capacities, 0.25, block=3, sample_budget=16,
-        sampler="fast", seed=0, record_estimates=False,
+# ----------------------------------------------------------------------
+# Script mode: reference vs optimized backend → BENCH_kernels.json
+# ----------------------------------------------------------------------
+def _time_round_kernel(instance, backend: str, rounds: int) -> tuple[float, np.ndarray]:
+    """Mean seconds per Algorithm-1 round plus the final β trajectory
+    (returned so the harness can assert cross-backend parity)."""
+    with use_backend(backend):
+        run = ProportionalRun(instance.graph, instance.capacities, 0.1)
+        run.step()  # warm caches / lazy layouts outside the timer
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            run.step()
+        elapsed = time.perf_counter() - t0
+    return elapsed / rounds, run.beta_exp.copy()
+
+
+def _time_batch(instances, backend: str, repeats: int = 3) -> float:
+    """Best-of-``repeats`` batch wall time (min is the standard
+    noise-robust estimator for short benchmarks)."""
+    best = float("inf")
+    with use_backend(backend):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solve_allocation_many(instances, 0.2, seed=0, boost=False)
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_backend_benchmarks(scale: str) -> dict:
+    """Benchmark both backends; returns the BENCH_kernels.json payload."""
+    sizes = _SIZES[scale]
+    rounds = 40
+    per_size = []
+    for n in sizes:
+        instance = union_of_forests(n, n, 4, capacity=2, seed=0)
+        t_ref, beta_ref = _time_round_kernel(instance, "reference", rounds)
+        t_opt, beta_opt = _time_round_kernel(instance, "optimized", rounds)
+        if not np.array_equal(beta_ref, beta_opt):  # must survive python -O
+            raise RuntimeError(
+                f"backend parity violated on n={n}: refusing to record timings"
+            )
+        per_size.append(
+            {
+                "n_left": n,
+                "n_right": n,
+                "n_edges": instance.graph.n_edges,
+                "rounds_timed": rounds,
+                "reference_ms_per_round": round(t_ref * 1e3, 4),
+                "optimized_ms_per_round": round(t_opt * 1e3, 4),
+                "speedup": round(t_ref / t_opt, 3),
+            }
+        )
+
+    batch_n = {"smoke": 300, "normal": 800, "full": 1500}[scale]
+    batch = [union_of_forests(batch_n, batch_n, 3, capacity=2, seed=s) for s in range(6)]
+    batch_ref = _time_batch(batch, "reference")
+    batch_opt = _time_batch(batch, "optimized")
+
+    largest = per_size[-1]
+    return {
+        "benchmark": "round kernel: reference vs optimized backend",
+        "scale": scale,
+        "round_kernel": per_size,
+        "solve_allocation_many": {
+            "batch_size": len(batch),
+            "instance_n": batch_n,
+            "reference_seconds": round(batch_ref, 4),
+            "optimized_seconds": round(batch_opt, 4),
+            "speedup": round(batch_ref / batch_opt, 3),
+        },
+        "largest_instance_speedup": largest["speedup"],
+        "optimized_beats_seed": largest["optimized_ms_per_round"]
+        < largest["reference_ms_per_round"],
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(_SIZES), default="full",
+        help="instance sizes to benchmark (default: full)",
     )
-    benchmark.pedantic(run.run_phase, rounds=3, iterations=1)
-    assert run.phases_completed >= 3
-
-
-def test_kernel_degeneracy(benchmark, instance):
-    ea, eb = instance.graph.undirected_edges()
-    n = instance.graph.n_vertices
-    result = benchmark(lambda: int(core_numbers(n, ea, eb).max()))
-    assert result >= 1
-
-
-def test_kernel_exact_optimum(benchmark, instance):
-    """The Dinic OPT oracle on the benchmark instance."""
-    result = benchmark.pedantic(
-        lambda: solve_exact(instance.graph, instance.capacities).value,
-        rounds=1,
-        iterations=1,
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_kernels.json at the repo root)",
     )
-    assert result > 0
+    args = parser.parse_args(argv)
+    payload = run_backend_benchmarks(args.scale)
+    out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
 
 
-def test_kernel_rounding(benchmark, instance):
-    frac = solve_fractional_fixed_tau(instance, 0.25).allocation
-    out = benchmark(
-        lambda: round_once(instance.graph, instance.capacities, frac, seed=1).size
-    )
-    assert out >= 0
+if __name__ == "__main__":
+    main()

@@ -12,16 +12,11 @@ Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``normal`` /
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks._scale import bench_scale
 
-def bench_scale() -> str:
-    scale = os.environ.get("REPRO_BENCH_SCALE", "normal")
-    if scale not in ("smoke", "normal", "full"):
-        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/normal/full, got {scale!r}")
-    return scale
+__all__ = ["bench_scale", "scale", "run_experiment_once"]
 
 
 @pytest.fixture(scope="session")

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.bmatching.problem import BMatchingInstance
 from repro.core.proportional import match_weight_from_alloc
+from repro.kernels import proportional_round, scatter_add, workspace_for
 from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = ["BMatchingFractional", "proportional_bmatching"]
@@ -45,8 +46,8 @@ class BMatchingFractional:
         g = instance.graph
         if np.any(self.x < -tol) or np.any(self.x > 1 + tol):
             return False
-        left = np.bincount(g.edge_u, weights=self.x, minlength=g.n_left)
-        right = np.bincount(g.edge_v, weights=self.x, minlength=g.n_right)
+        left = scatter_add(g.edge_u, weights=self.x, minlength=g.n_left)
+        right = scatter_add(g.edge_v, weights=self.x, minlength=g.n_right)
         return bool(
             np.all(left <= instance.b_left + tol)
             and np.all(right <= instance.b_right + tol)
@@ -67,6 +68,7 @@ def proportional_bmatching(
     epsilon = check_fraction(epsilon, "epsilon")
     tau = check_positive_int(tau, "tau")
     g = instance.graph
+    ws = workspace_for(g)
     log1p_eps = float(np.log1p(epsilon))
     b_left = instance.b_left.astype(np.float64)
     b_right = instance.b_right.astype(np.float64)
@@ -75,20 +77,16 @@ def proportional_bmatching(
     x = np.zeros(g.n_edges, dtype=np.float64)
     alloc = np.zeros(g.n_right, dtype=np.float64)
     for _ in range(tau):
-        e_slot = beta_exp[g.left_adj].astype(np.float64)
-        seg_max = g.left_segment_max(e_slot, empty=0.0)
-        shifted = e_slot - np.repeat(seg_max, g.left_degrees)
-        w = np.exp(shifted * log1p_eps)
-        denom = g.left_segment_sum(w)
-        x = w / np.repeat(denom, g.left_degrees) * b_left[g.edge_u]
-        alloc = np.bincount(g.left_adj, weights=x, minlength=g.n_right)
+        # The shared round kernel with per-left-vertex unit budgets
+        # b_left instead of 1 (DESIGN.md §6).
+        x, alloc = proportional_round(ws, beta_exp, log1p_eps, left_units=b_left)
         increase = alloc <= b_right / (1.0 + epsilon)
         decrease = alloc >= b_right * (1.0 + epsilon)
         beta_exp += increase.astype(np.int64) - decrease.astype(np.int64)
 
     # Feasibility scaling: clip edges at 1, then rescale right loads.
     x = np.minimum(x, 1.0)
-    right = np.bincount(g.edge_v, weights=x, minlength=g.n_right)
+    right = scatter_add(g.edge_v, weights=x, minlength=g.n_right)
     with np.errstate(divide="ignore", invalid="ignore"):
         scale = np.where(right > b_right, b_right / np.where(right > 0, right, 1.0), 1.0)
     x = x * scale[g.edge_v]

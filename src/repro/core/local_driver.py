@@ -28,6 +28,7 @@ from repro.core.termination import CertificateStatus, evaluate_certificate
 from repro.core.trace import RoundTrace
 from repro.graphs import degeneracy
 from repro.graphs.instances import AllocationInstance
+from repro.kernels import RoundWorkspace
 
 __all__ = [
     "LocalRunResult",
@@ -91,6 +92,7 @@ def solve_fractional_fixed_tau(
     lam: Optional[int] = None,
     thresholds: Optional[ThresholdSchedule] = None,
     record_trace: bool = False,
+    workspace: Optional[RoundWorkspace] = None,
 ) -> LocalRunResult:
     """Theorem 2/9: Algorithm 1 for a λ-derived fixed round budget.
 
@@ -105,7 +107,8 @@ def solve_fractional_fixed_tau(
     if tau is None:
         tau = params.tau_two_approx(lam, epsilon)
     run = ProportionalRun(
-        instance.graph, instance.capacities, epsilon, thresholds=thresholds
+        instance.graph, instance.capacities, epsilon, thresholds=thresholds,
+        workspace=workspace,
     )
     trace: Optional[RoundTrace] = None
     if record_trace:
@@ -135,6 +138,7 @@ def solve_fractional_until_certificate(
     max_rounds: Optional[int] = None,
     thresholds: Optional[ThresholdSchedule] = None,
     record_trace: bool = False,
+    workspace: Optional[RoundWorkspace] = None,
 ) -> LocalRunResult:
     """The λ-oblivious driver: stop at the first satisfied certificate.
 
@@ -149,7 +153,8 @@ def solve_fractional_until_certificate(
         worst_lambda = max(2, instance.graph.n_vertices)
         max_rounds = params.tau_two_approx(worst_lambda, epsilon) + 2
     run = ProportionalRun(
-        instance.graph, instance.capacities, epsilon, thresholds=thresholds
+        instance.graph, instance.capacities, epsilon, thresholds=thresholds,
+        workspace=workspace,
     )
     trace = RoundTrace() if record_trace else None
     certificate: Optional[CertificateStatus] = None
@@ -184,12 +189,15 @@ def solve_fractional_one_plus_eps(
     *,
     tau: Optional[int] = None,
     record_trace: bool = False,
+    workspace: Optional[RoundWorkspace] = None,
 ) -> LocalRunResult:
     """Theorem 20 regime: long run, (1 + (1+14)ε) with Algorithm 1's
     ``k = 1`` thresholds (Lemma 19 with k = 1)."""
     if tau is None:
         tau = params.tau_one_plus_eps(instance.graph.n_right, epsilon)
-    run = ProportionalRun(instance.graph, instance.capacities, epsilon)
+    run = ProportionalRun(
+        instance.graph, instance.capacities, epsilon, workspace=workspace
+    )
     trace: Optional[RoundTrace] = None
     if record_trace:
         trace = RoundTrace()

@@ -39,6 +39,7 @@ from repro.core.fractional import FractionalAllocation
 from repro.core.sampled import SampledRun
 from repro.core.termination import CertificateStatus, neighbors_of_right_set
 from repro.graphs.instances import AllocationInstance
+from repro.kernels import RoundWorkspace, workspace_for
 from repro.mpc.cluster import MPCCluster, cluster_for
 from repro.mpc.exponentiation import collect_balls
 from repro.mpc.primitives import route_by_key, tree_reduce
@@ -56,7 +57,15 @@ class MPCRoundLedger:
     guesses: list[int] = field(default_factory=list)
     peak_machine_words: int = 0
     peak_global_words: int = 0
+    peak_routed_records: int = 0      # worst per-machine routing fan-in
     violations: list[str] = field(default_factory=list)
+
+    def record_routing(self, histogram) -> None:
+        """Track the routing-skew peak from a route_by_key histogram."""
+        if histogram is not None and histogram.size:
+            self.peak_routed_records = max(
+                self.peak_routed_records, int(histogram.max())
+            )
 
     def charge(self, category: str, rounds: int) -> None:
         self.by_category[category] = self.by_category.get(category, 0) + int(rounds)
@@ -159,7 +168,12 @@ def _faithful_phase(
     # Level grouping round: co-locate each vertex's incident sampled
     # edges (the grouping information) by vertex id.
     cluster.load([("sedge", a, b) for a, b in sorted(edge_set)])
-    route_by_key(cluster, key_fn=lambda rec: rec[1], label="grouping")
+    ledger.record_routing(
+        route_by_key(
+            cluster, key_fn=lambda rec: rec[1], label="grouping",
+            return_histogram=True,
+        )
+    )
     ledger.charge("grouping", 1)
     ledger.charge("sampling", 1)  # the sample-announcement round
 
@@ -178,7 +192,12 @@ def _faithful_phase(
         ledger.charge("exponentiation", exp_rounds)
     # Write-back of updated β values: one routing round.
     cluster.load([("beta", int(v), int(run.beta_exp[v])) for v in range(g.n_right)])
-    route_by_key(cluster, key_fn=lambda rec: rec[1], label="writeback")
+    ledger.record_routing(
+        route_by_key(
+            cluster, key_fn=lambda rec: rec[1], label="writeback",
+            return_histogram=True,
+        )
+    )
     ledger.charge("writeback", 1)
 
     ledger.peak_machine_words = max(
@@ -209,7 +228,12 @@ def _faithful_certificate_test(
         for v in range(g.n_right)
     )
     cluster.load(records)
-    route_by_key(cluster, key_fn=lambda rec: rec[1], label="certificate/route")
+    ledger.record_routing(
+        route_by_key(
+            cluster, key_fn=lambda rec: rec[1], label="certificate/route",
+            return_histogram=True,
+        )
+    )
     ledger.charge("termination_test", 1)
 
     # Local dedup: covered left vertices per machine.
@@ -258,6 +282,7 @@ def solve_allocation_mpc(
     space_slack: float = 64.0,
     block_override: Optional[int] = None,
     certificate_cadence: Literal["per_phase", "per_guess"] = "per_phase",
+    workspace: Optional[RoundWorkspace] = None,
 ) -> MPCResult:
     """Theorem 3: (2+O(ε))-approximate fractional allocation in MPC.
 
@@ -284,6 +309,8 @@ def solve_allocation_mpc(
     if not (0.0 < alpha < 1.0):
         raise ValueError(f"alpha must lie in (0,1), got {alpha}")
     graph = instance.graph
+    if workspace is None:
+        workspace = workspace_for(graph)
     n = max(2, graph.n_vertices)
     ledger = MPCRoundLedger()
 
@@ -308,6 +335,7 @@ def solve_allocation_mpc(
             sampler=effective_sampler,
             seed=seed,
             record_estimates=False,
+            workspace=workspace,
         )
         cluster: Optional[MPCCluster] = None
         if mode == "faithful":

@@ -17,19 +17,20 @@ the experiment suite does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Literal, Optional
+from typing import Any, Literal, Optional, Sequence
 
 import numpy as np
 
 from repro.boosting.boost import BoostResult, boost_allocation
 from repro.core.mpc_driver import MPCResult, solve_allocation_mpc
 from repro.graphs.instances import AllocationInstance
+from repro.kernels import RoundWorkspace, workspace_for
 from repro.rounding.repair import greedy_fill
 from repro.rounding.sampling import RoundingOutcome, round_best_of
 from repro.utils.rng import spawn
 from repro.utils.validation import check_fraction
 
-__all__ = ["PipelineResult", "solve_allocation"]
+__all__ = ["PipelineResult", "solve_allocation", "solve_allocation_many"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,7 @@ def solve_allocation(
     boost: bool = True,
     boost_mode: Literal["layered", "deterministic"] = "layered",
     seed=None,
+    workspace: Optional[RoundWorkspace] = None,
 ) -> PipelineResult:
     """Run the full paper pipeline on one instance.
 
@@ -75,7 +77,8 @@ def solve_allocation(
     ``max(epsilon, 0.25)`` (the boosting k grows as 1/ε, so very small
     ε targets are expensive — pick it independently when needed).
     Stages after the MPC solve are monotone: each can only grow the
-    allocation (asserted).
+    allocation (asserted).  ``workspace`` lets batched callers reuse
+    the per-graph kernel workspace (see :func:`solve_allocation_many`).
     """
     epsilon = check_fraction(epsilon, "epsilon", inclusive_high=0.25)
     if boost_epsilon is None:
@@ -83,7 +86,8 @@ def solve_allocation(
     streams = spawn(seed, 3)
 
     mpc = solve_allocation_mpc(
-        instance, epsilon, alpha=alpha, lam=lam, seed=streams[0]
+        instance, epsilon, alpha=alpha, lam=lam, seed=streams[0],
+        workspace=workspace,
     )
     rounded = round_best_of(
         instance.graph, instance.capacities, mpc.allocation, seed=streams[1]
@@ -117,3 +121,46 @@ def solve_allocation(
             "boost": boost,
         },
     )
+
+
+def solve_allocation_many(
+    instances: Sequence[AllocationInstance],
+    epsilon: float = 0.2,
+    *,
+    seed=None,
+    **kwargs: Any,
+) -> list[PipelineResult]:
+    """Run the full pipeline over a batch of instances.
+
+    The first step toward the heavy-traffic serving story (ROADMAP):
+    one call amortizes per-graph setup across the batch.  Each
+    instance's :class:`~repro.kernels.RoundWorkspace` is resolved once
+    up front and handed to every stage, so instances that share a
+    graph object (the common serving shape: one graph, many capacity
+    or parameter variations) share cached slot-owner indices, reduceat
+    offsets and scratch buffers instead of rebuilding them per solve.
+    Seeds are spawned per batch *position* from ``seed``: results are
+    reproducible for a fixed ordering (entry ``i`` equals a single
+    :func:`solve_allocation` call with ``spawn(seed, n)[i]``), but
+    permuting the batch permutes the streams.  Extra keyword arguments
+    are forwarded to :func:`solve_allocation`.
+    """
+    if "workspace" in kwargs:
+        raise TypeError(
+            "solve_allocation_many resolves one workspace per instance "
+            "graph itself; do not pass workspace="
+        )
+    instances = list(instances)
+    streams = spawn(seed, len(instances))
+    results: list[PipelineResult] = []
+    for instance, stream in zip(instances, streams):
+        results.append(
+            solve_allocation(
+                instance,
+                epsilon,
+                seed=stream,
+                workspace=workspace_for(instance.graph),
+                **kwargs,
+            )
+        )
+    return results

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.fractional import FractionalAllocation
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.capacities import validate_capacities
+from repro.kernels import RoundWorkspace, proportional_round, resolve_workspace
 from repro.utils.validation import check_fraction
 
 __all__ = [
@@ -91,7 +92,11 @@ class ReplayThresholds:
 
 
 def compute_x_alloc(
-    graph: BipartiteGraph, beta_exp: np.ndarray, log1p_eps: float
+    graph: BipartiteGraph,
+    beta_exp: np.ndarray,
+    log1p_eps: float,
+    *,
+    workspace: Optional[RoundWorkspace] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One evaluation of lines 2–3 of Algorithm 1.
 
@@ -100,16 +105,12 @@ def compute_x_alloc(
     per right vertex.  Numerically: within each left neighbourhood the
     exponents are shifted by their maximum, so every weight lies in
     ``(0, 1]`` and the denominator in ``[1, deg]`` — no overflow at any
-    exponent magnitude.
+    exponent magnitude (DESIGN.md §5).  The heavy lifting is the shared
+    round kernel in :mod:`repro.kernels` (DESIGN.md §6).
     """
-    e_slot = beta_exp[graph.left_adj].astype(np.float64)
-    seg_max = graph.left_segment_max(e_slot, empty=0.0)
-    shifted = e_slot - np.repeat(seg_max, graph.left_degrees)
-    w = np.exp(shifted * log1p_eps)
-    denom = graph.left_segment_sum(w)
-    x = w / np.repeat(denom, graph.left_degrees)
-    alloc = np.bincount(graph.left_adj, weights=x, minlength=graph.n_right)
-    return x, alloc
+    return proportional_round(
+        resolve_workspace(graph, workspace), beta_exp, log1p_eps
+    )
 
 
 def match_weight_from_alloc(capacities: np.ndarray, alloc: np.ndarray) -> float:
@@ -141,12 +142,14 @@ class ProportionalRun:
         epsilon: float,
         *,
         thresholds: Optional[ThresholdSchedule] = None,
+        workspace: Optional[RoundWorkspace] = None,
     ):
         self.graph = graph
         self.capacities = validate_capacities(graph, capacities).astype(np.float64)
         self.epsilon = check_fraction(epsilon, "epsilon")
         self.log1p_eps = float(np.log1p(self.epsilon))
         self.schedule: ThresholdSchedule = thresholds or ConstantThresholds(1.0)
+        self.workspace = resolve_workspace(graph, workspace)
         self.beta_exp = np.zeros(graph.n_right, dtype=np.int64)
         self.rounds_completed = 0
         self.x_slots: Optional[np.ndarray] = None
@@ -158,7 +161,9 @@ class ProportionalRun:
     # ------------------------------------------------------------------
     def compute_x_alloc(self) -> tuple[np.ndarray, np.ndarray]:
         """Evaluate x/alloc for the *current* priorities (pure)."""
-        return compute_x_alloc(self.graph, self.beta_exp, self.log1p_eps)
+        return compute_x_alloc(
+            self.graph, self.beta_exp, self.log1p_eps, workspace=self.workspace
+        )
 
     def decide(self, alloc: np.ndarray, k: ThresholdValue) -> np.ndarray:
         """Line-4 decisions from true allocs: +1 (raise β), −1, or 0."""

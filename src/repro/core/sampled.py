@@ -46,6 +46,7 @@ from repro.core.fractional import FractionalAllocation
 from repro.core.proportional import compute_x_alloc, match_weight_from_alloc
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.capacities import validate_capacities
+from repro.kernels import RoundWorkspace, get_backend, resolve_workspace
 from repro.utils.rng import RngFactory, as_generator, choice_without_replacement
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -100,12 +101,23 @@ class SideGroups:
 
 
 def build_side_groups(
-    indptr: np.ndarray, slot_keys: np.ndarray
+    indptr: np.ndarray,
+    slot_keys: np.ndarray,
+    *,
+    slot_owner: Optional[np.ndarray] = None,
 ) -> SideGroups:
-    """Group each CSR row's slots by ``slot_keys`` (vectorized)."""
+    """Group each CSR row's slots by ``slot_keys`` (vectorized).
+
+    ``slot_owner`` optionally supplies the cached slot→row index (a
+    per-graph invariant, see :mod:`repro.kernels`) so phase boundaries
+    skip the ``np.repeat`` re-expansion.
+    """
     n_rows = indptr.shape[0] - 1
     m = slot_keys.shape[0]
-    row_of_slot = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
+    if slot_owner is not None:
+        row_of_slot = slot_owner
+    else:
+        row_of_slot = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
     # Deterministic order: by row, then key, then slot id.
     order = np.lexsort((np.arange(m), slot_keys, row_of_slot))
     sorted_rows = row_of_slot[order]
@@ -248,8 +260,10 @@ class SampledRun:
         sampler: Literal["keyed", "fast"] = "keyed",
         seed=None,
         record_estimates: bool = True,
+        workspace: Optional[RoundWorkspace] = None,
     ):
         self.graph = graph
+        self.workspace = resolve_workspace(graph, workspace)
         self.capacities = validate_capacities(graph, capacities).astype(np.float64)
         self.epsilon = check_fraction(epsilon, "epsilon")
         self.block = check_positive_int(block, "block")
@@ -299,14 +313,18 @@ class SampledRun:
         counterpart's current level."""
         g = self.graph
         # L side groups N_u by the (integer, exact) β_v exponent.
-        left_groups = build_side_groups(g.left_indptr, self.beta_exp[g.left_adj])
+        left_groups = build_side_groups(
+            g.left_indptr, self.beta_exp[g.left_adj], slot_owner=g.left_slot_owner
+        )
         # R side groups N_v by the (1+ε)-bucket of the exact β_u.
         beta_vals, _ = self._beta_values_shifted()
         beta_u = self._exact_beta_u(beta_vals)
         with np.errstate(divide="ignore"):
             log_bu = np.where(beta_u > 0, np.log(np.where(beta_u > 0, beta_u, 1.0)), 0.0)
         bucket_u = np.floor(log_bu / self.log1p_eps).astype(np.int64)
-        right_groups = build_side_groups(g.right_indptr, bucket_u[g.right_adj])
+        right_groups = build_side_groups(
+            g.right_indptr, bucket_u[g.right_adj], slot_owner=g.right_slot_owner
+        )
         return left_groups, right_groups
 
     def _estimate_row_sums(
@@ -321,6 +339,7 @@ class SampledRun:
         ``pooled``: per row, |N_w|/|pooled sample| · pooled sample sum
         (the paper's literal line-5/6 rescale).
         """
+        backend = get_backend()
         n_groups = groups.n_groups
         gid = groups.position_group_ids()
         chosen_gid = gid[positions]
@@ -329,19 +348,31 @@ class SampledRun:
         if positions.size == 0:
             return row_sums
         if self.estimator == "stratified":
-            sums = np.bincount(chosen_gid, weights=chosen_values, minlength=n_groups)
-            counts = np.bincount(chosen_gid, minlength=n_groups).astype(np.float64)
+            sums = backend.scatter_add(
+                chosen_gid, weights=chosen_values, minlength=n_groups
+            )
+            counts = backend.scatter_add(chosen_gid, minlength=n_groups).astype(
+                np.float64
+            )
             sizes = groups.group_sizes.astype(np.float64)
             with np.errstate(divide="ignore", invalid="ignore"):
                 est = np.where(counts > 0, sizes / np.where(counts > 0, counts, 1.0) * sums, 0.0)
-            np.add.at(row_sums, groups.group_row, est)
-            return row_sums
+            return backend.scatter_add(
+                groups.group_row, weights=est, minlength=groups.n_rows
+            )
         # pooled
         chosen_rows = groups.group_row[chosen_gid]
-        sums = np.bincount(chosen_rows, weights=chosen_values, minlength=groups.n_rows)
-        counts = np.bincount(chosen_rows, minlength=groups.n_rows).astype(np.float64)
-        degrees = np.zeros(groups.n_rows, dtype=np.float64)
-        np.add.at(degrees, groups.group_row, groups.group_sizes.astype(np.float64))
+        sums = backend.scatter_add(
+            chosen_rows, weights=chosen_values, minlength=groups.n_rows
+        )
+        counts = backend.scatter_add(chosen_rows, minlength=groups.n_rows).astype(
+            np.float64
+        )
+        degrees = backend.scatter_add(
+            groups.group_row,
+            weights=groups.group_sizes.astype(np.float64),
+            minlength=groups.n_rows,
+        )
         with np.errstate(divide="ignore", invalid="ignore"):
             row_sums = np.where(counts > 0, degrees / np.where(counts > 0, counts, 1.0) * sums, 0.0)
         return row_sums
@@ -381,7 +412,9 @@ class SampledRun:
 
             # Instrumentation: exact aggregates for Lemma 12/13 checks
             # and for the final lines-5/6 output of Algorithm 1.
-            x_true, alloc_true = compute_x_alloc(g, self.beta_exp, self.log1p_eps)
+            x_true, alloc_true = compute_x_alloc(
+                g, self.beta_exp, self.log1p_eps, workspace=self.workspace
+            )
             if self.record_estimates:
                 beta_true = self._exact_beta_u(beta_vals)
                 report.rounds.append(

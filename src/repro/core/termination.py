@@ -53,7 +53,8 @@ class CertificateStatus:
 def neighbors_of_right_set(graph: BipartiteGraph, right_mask: np.ndarray) -> np.ndarray:
     """Boolean mask over L of ``N(S)`` for a right-vertex mask ``S``.
 
-    Vectorized: expand the mask to R-CSR slots via repeat, then scatter
+    Vectorized: expand the mask to R-CSR slots through the graph's
+    cached slot-owner index (no per-call ``np.repeat``), then scatter
     into an L-side mask.
     """
     right_mask = np.asarray(right_mask, dtype=bool)
@@ -62,7 +63,7 @@ def neighbors_of_right_set(graph: BipartiteGraph, right_mask: np.ndarray) -> np.
     out = np.zeros(graph.n_left, dtype=bool)
     if not right_mask.any():
         return out
-    slot_mask = np.repeat(right_mask, graph.right_degrees)
+    slot_mask = right_mask[graph.right_slot_owner]
     out[graph.right_adj[slot_mask]] = True
     return out
 

@@ -101,13 +101,18 @@ def run_experiment(exp_id: str, *, scale: Scale = "normal", seed: int = 0) -> Ta
 
 
 def default_results_dir() -> Path:
-    """``benchmarks/results`` next to the installed source tree's repo
-    root when available, else the current working directory."""
+    """``benchmarks/results`` under the repo root when the source tree
+    is importable in place, else ``results/`` in the working directory.
+
+    The canonical directory name is ``results`` everywhere (the name
+    tests and EXPERIMENTS.md cite); the repo root is recognized by its
+    packaging marker (``pyproject.toml`` or ``setup.py``).
+    """
     here = Path(__file__).resolve()
     for parent in here.parents:
-        if (parent / "pyproject.toml").exists():
+        if (parent / "pyproject.toml").exists() or (parent / "setup.py").exists():
             return parent / "benchmarks" / "results"
-    return Path.cwd() / "benchmark-results"
+    return Path.cwd() / "results"
 
 
 def run_and_save(

@@ -4,9 +4,13 @@ The allocation algorithms are edge-parallel: each LOCAL round computes
 a value per edge from per-endpoint state, then aggregates back to the
 endpoints.  A dual-CSR layout (one adjacency per side, each slot
 carrying the global edge id) lets every per-round step be expressed as
-numpy segment operations — ``np.add.reduceat`` / ``np.maximum.reduceat``
-over contiguous neighbourhood slices and ``np.bincount`` scatters —
-following the vectorize-don't-loop idiom of the domain guides.
+segment operations — row reductions over contiguous neighbourhood
+slices and bincount scatters — following the vectorize-don't-loop
+idiom of the domain guides.  The segment helpers delegate to the
+pluggable kernel layer (:mod:`repro.kernels`, DESIGN.md §6); each
+graph lazily caches one :class:`~repro.kernels.SegmentLayout` per side
+holding the slot-owner gather indices and ``reduceat`` offsets the
+optimized backend reuses across rounds.
 
 Conventions
 -----------
@@ -31,6 +35,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
+from repro.kernels import SegmentLayout
 from repro.utils.validation import check_integer_array, check_nonnegative_int
 
 __all__ = ["BipartiteGraph", "build_graph", "from_neighbor_lists"]
@@ -68,15 +74,38 @@ class BipartiteGraph:
         """Total vertex count ``n = |L| + |R|``."""
         return self.n_left + self.n_right
 
-    @cached_property
+    @property
     def left_degrees(self) -> np.ndarray:
-        """Degree of every left vertex (int64, shape ``(n_left,)``)."""
-        return np.diff(self.left_indptr)
+        """Degree of every left vertex (int64, shape ``(n_left,)``,
+        read-only — the layout's canonical cached array)."""
+        return self.left_layout.degrees
+
+    @property
+    def right_degrees(self) -> np.ndarray:
+        """Degree of every right vertex (int64, shape ``(n_right,)``,
+        read-only — the layout's canonical cached array)."""
+        return self.right_layout.degrees
 
     @cached_property
-    def right_degrees(self) -> np.ndarray:
-        """Degree of every right vertex (int64, shape ``(n_right,)``)."""
-        return np.diff(self.right_indptr)
+    def left_layout(self) -> SegmentLayout:
+        """Cached kernel layout of the L-CSR side (DESIGN.md §6)."""
+        return SegmentLayout(self.left_indptr)
+
+    @cached_property
+    def right_layout(self) -> SegmentLayout:
+        """Cached kernel layout of the R-CSR side (DESIGN.md §6)."""
+        return SegmentLayout(self.right_indptr)
+
+    @property
+    def left_slot_owner(self) -> np.ndarray:
+        """Left row id of every L-CSR slot — ``per_row[left_slot_owner]``
+        replaces per-round ``np.repeat(per_row, left_degrees)``."""
+        return self.left_layout.slot_owner
+
+    @property
+    def right_slot_owner(self) -> np.ndarray:
+        """Right row id of every R-CSR slot (see ``left_slot_owner``)."""
+        return self.right_layout.slot_owner
 
     @property
     def max_degree(self) -> int:
@@ -192,19 +221,23 @@ class BipartiteGraph:
     # ------------------------------------------------------------------
     def left_segment_sum(self, per_slot: np.ndarray) -> np.ndarray:
         """Sum a per-L-slot array within each left vertex's CSR row."""
-        return _segment_sum(per_slot, self.left_indptr)
+        return kernels.segment_sum(per_slot, self.left_indptr, layout=self.left_layout)
 
     def right_segment_sum(self, per_slot: np.ndarray) -> np.ndarray:
         """Sum a per-R-slot array within each right vertex's CSR row."""
-        return _segment_sum(per_slot, self.right_indptr)
+        return kernels.segment_sum(per_slot, self.right_indptr, layout=self.right_layout)
 
     def left_segment_max(self, per_slot: np.ndarray, empty: float) -> np.ndarray:
         """Max within each left row; ``empty`` fills degree-0 rows."""
-        return _segment_max(per_slot, self.left_indptr, empty)
+        return kernels.segment_max(
+            per_slot, self.left_indptr, empty, layout=self.left_layout
+        )
 
     def right_segment_max(self, per_slot: np.ndarray, empty: float) -> np.ndarray:
         """Max within each right row; ``empty`` fills degree-0 rows."""
-        return _segment_max(per_slot, self.right_indptr, empty)
+        return kernels.segment_max(
+            per_slot, self.right_indptr, empty, layout=self.right_layout
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -247,37 +280,6 @@ class BipartiteGraph:
             f"BipartiteGraph(n_left={self.n_left}, n_right={self.n_right}, "
             f"m={self.n_edges})"
         )
-
-
-def _segment_sum(per_slot: np.ndarray, indptr: np.ndarray) -> np.ndarray:
-    """Row sums of a CSR-aligned array; empty rows yield 0."""
-    n = indptr.shape[0] - 1
-    out = np.zeros(n, dtype=np.result_type(per_slot.dtype, np.float64)
-                   if per_slot.dtype.kind == "f" else per_slot.dtype)
-    if per_slot.shape[0] == 0 or n == 0:
-        return out
-    starts = indptr[:-1]
-    nonempty = starts < indptr[1:]
-    if not np.any(nonempty):
-        return out
-    sums = np.add.reduceat(per_slot, starts[nonempty])
-    out[nonempty] = sums
-    return out
-
-
-def _segment_max(per_slot: np.ndarray, indptr: np.ndarray, empty: float) -> np.ndarray:
-    """Row maxima of a CSR-aligned array; empty rows yield ``empty``."""
-    n = indptr.shape[0] - 1
-    out = np.full(n, empty, dtype=per_slot.dtype if per_slot.dtype.kind == "f" else np.float64)
-    if per_slot.shape[0] == 0 or n == 0:
-        return out
-    starts = indptr[:-1]
-    nonempty = starts < indptr[1:]
-    if not np.any(nonempty):
-        return out
-    maxima = np.maximum.reduceat(per_slot, starts[nonempty])
-    out[nonempty] = maxima
-    return out
 
 
 def build_graph(

@@ -1,0 +1,351 @@
+"""Pluggable kernel backends and their registry.
+
+A backend implements the segment primitives over raw CSR arrays.  The
+contract every backend must honour (enforced by the parity tests):
+**identical floating-point operations in identical order** — backends
+may differ in how much they cache and reuse, never in the arithmetic.
+That is what keeps β trajectories bit-identical across backends and
+makes the optimized path a safe default.
+
+Selection: ``REPRO_KERNEL_BACKEND=reference|optimized`` in the
+environment, or :func:`set_backend` / :func:`use_backend` at runtime.
+The default is ``"optimized"``.
+
+See DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.kernels.workspace import SegmentLayout
+
+__all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "OptimizedBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+DEFAULT_BACKEND = "optimized"
+
+
+class KernelBackend:
+    """Base class: the reference NumPy implementations.
+
+    Each primitive takes the raw ``indptr`` plus an optional
+    :class:`SegmentLayout` carrying cached invariants; the reference
+    implementations ignore the layout (recomputing everything per
+    call, exactly like the historical per-module copies did).
+    """
+
+    name = "reference"
+
+    # -- segment reductions --------------------------------------------
+    def segment_sum(
+        self,
+        per_slot: np.ndarray,
+        indptr: np.ndarray,
+        *,
+        layout: Optional[SegmentLayout] = None,
+    ) -> np.ndarray:
+        """Row sums of a CSR-aligned array; empty rows yield 0."""
+        per_slot = np.asarray(per_slot)
+        n = indptr.shape[0] - 1
+        out = np.zeros(
+            n,
+            dtype=np.result_type(per_slot.dtype, np.float64)
+            if per_slot.dtype.kind == "f"
+            else per_slot.dtype,
+        )
+        if per_slot.shape[0] == 0 or n == 0:
+            return out
+        starts = indptr[:-1]
+        nonempty = starts < indptr[1:]
+        if not np.any(nonempty):
+            return out
+        out[nonempty] = np.add.reduceat(per_slot, starts[nonempty])
+        return out
+
+    def segment_max(
+        self,
+        per_slot: np.ndarray,
+        indptr: np.ndarray,
+        empty: float,
+        *,
+        layout: Optional[SegmentLayout] = None,
+    ) -> np.ndarray:
+        """Row maxima of a CSR-aligned array; empty rows yield ``empty``."""
+        per_slot = np.asarray(per_slot)
+        n = indptr.shape[0] - 1
+        out = np.full(
+            n, empty, dtype=per_slot.dtype if per_slot.dtype.kind == "f" else np.float64
+        )
+        if per_slot.shape[0] == 0 or n == 0:
+            return out
+        starts = indptr[:-1]
+        nonempty = starts < indptr[1:]
+        if not np.any(nonempty):
+            return out
+        out[nonempty] = np.maximum.reduceat(per_slot, starts[nonempty])
+        return out
+
+    # -- expansion / gather --------------------------------------------
+    def expand_rows(
+        self,
+        per_row: np.ndarray,
+        indptr: np.ndarray,
+        *,
+        layout: Optional[SegmentLayout] = None,
+    ) -> np.ndarray:
+        """Broadcast a per-row array to slots: ``repeat(per_row, deg)``."""
+        return np.repeat(per_row, np.diff(indptr))
+
+    def gather(
+        self,
+        values: np.ndarray,
+        indices: np.ndarray,
+        *,
+        layout: Optional[SegmentLayout] = None,
+    ) -> np.ndarray:
+        """``values[indices]`` — per-slot gather of per-vertex state."""
+        return values[indices]
+
+    def gather_as_float(
+        self,
+        values: np.ndarray,
+        indices: np.ndarray,
+        *,
+        row_buf: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Gather integer per-vertex state to slots as float64.
+
+        Reference order: gather first, cast the (larger) slot array.
+        The optimized backend casts the per-vertex array into a
+        persistent ``row_buf`` first and gathers floats — identical
+        values (int64→float64 is exact at these magnitudes), one cast
+        of n instead of m elements, and no per-round cast allocation.
+        """
+        return values[indices].astype(np.float64)
+
+    # -- the shared shifted-exponent softmax ---------------------------
+    def segment_softmax_shifted(
+        self,
+        exp_slots: np.ndarray,
+        indptr: np.ndarray,
+        scale: float,
+        *,
+        layout: Optional[SegmentLayout] = None,
+        mutate_input: bool = False,
+    ) -> np.ndarray:
+        """Normalized per-slot weights from per-slot integer exponents.
+
+        Computes ``w = exp((e − rowmax(e))·scale)`` then ``w / rowsum(w)``
+        within every CSR row.  Shifting by the row maximum keeps every
+        weight in ``(0, 1]`` and every denominator in ``[1, deg]``, so
+        no exponent magnitude can overflow (DESIGN.md §5).
+
+        ``mutate_input=True`` tells the backend the caller owns
+        ``exp_slots`` and it may be consumed as scratch (the optimized
+        backend computes through it in place); the reference backend
+        always copies.
+        """
+        e = np.asarray(exp_slots).astype(np.float64)
+        seg_max = self.segment_max(e, indptr, 0.0, layout=layout)
+        shifted = e - self.expand_rows(seg_max, indptr, layout=layout)
+        w = np.exp(shifted * scale)
+        denom = self.segment_sum(w, indptr, layout=layout)
+        return w / self.expand_rows(denom, indptr, layout=layout)
+
+    # -- scatter --------------------------------------------------------
+    def scatter_add(
+        self,
+        index: np.ndarray,
+        *,
+        weights: Optional[np.ndarray] = None,
+        minlength: int = 0,
+    ) -> np.ndarray:
+        """Scatter-add ``weights`` (1s when omitted) into bins.
+
+        Equivalent to ``np.add.at(zeros(minlength), index, weights)``
+        but via ``np.bincount``; with duplicates both accumulate in
+        element order, so results are bit-identical.
+        """
+        return np.bincount(index, weights=weights, minlength=minlength)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ReferenceBackend(KernelBackend):
+    """Alias of the base reference implementations."""
+
+    name = "reference"
+
+
+class OptimizedBackend(KernelBackend):
+    """Cached-invariant backend (bit-identical values, fewer passes).
+
+    With a :class:`SegmentLayout` the row expansion becomes a fancy
+    gather through the cached ``slot_owner`` index (measurably faster
+    than per-call ``np.repeat``; note ``np.take(..., out=)`` is a slow
+    path in NumPy, so gathers deliberately produce fresh arrays),
+    ``reduceat`` offsets come precomputed, and the softmax computes
+    through its gathered input in place — three per-edge allocations
+    per round instead of seven.  Without a layout every primitive
+    falls back to the reference path, so the backend is always safe.
+    """
+
+    name = "optimized"
+
+    def segment_sum(self, per_slot, indptr, *, layout=None):
+        if layout is None or layout.indptr is not indptr:
+            return super().segment_sum(per_slot, indptr, layout=None)
+        per_slot = np.asarray(per_slot)
+        out = np.zeros(
+            layout.n_rows,
+            dtype=np.result_type(per_slot.dtype, np.float64)
+            if per_slot.dtype.kind == "f"
+            else per_slot.dtype,
+        )
+        if per_slot.shape[0] == 0 or layout.n_rows == 0:
+            return out
+        starts = layout.reduce_starts
+        if starts.shape[0] == 0:
+            return out
+        out[layout.nonempty] = np.add.reduceat(per_slot, starts)
+        return out
+
+    def segment_max(self, per_slot, indptr, empty, *, layout=None):
+        if layout is None or layout.indptr is not indptr:
+            return super().segment_max(per_slot, indptr, empty, layout=None)
+        per_slot = np.asarray(per_slot)
+        out = np.full(
+            layout.n_rows,
+            empty,
+            dtype=per_slot.dtype if per_slot.dtype.kind == "f" else np.float64,
+        )
+        if per_slot.shape[0] == 0 or layout.n_rows == 0:
+            return out
+        starts = layout.reduce_starts
+        if starts.shape[0] == 0:
+            return out
+        out[layout.nonempty] = np.maximum.reduceat(per_slot, starts)
+        return out
+
+    def expand_rows(self, per_row, indptr, *, layout=None):
+        if layout is None or layout.indptr is not indptr:
+            return super().expand_rows(per_row, indptr, layout=None)
+        return per_row[layout.slot_owner]
+
+    def gather_as_float(self, values, indices, *, row_buf=None):
+        values = np.asarray(values)
+        if row_buf is None or row_buf.shape != values.shape:
+            return super().gather_as_float(values, indices, row_buf=None)
+        # Cast n per-vertex values into the persistent buffer once,
+        # then gather floats — exact (small-int) values, same as the
+        # reference's gather-then-cast, minus a per-round m-sized cast.
+        np.copyto(row_buf, values, casting="unsafe")
+        return row_buf[indices]
+
+    def segment_softmax_shifted(
+        self, exp_slots, indptr, scale, *, layout=None, mutate_input=False
+    ):
+        e = np.asarray(exp_slots)
+        if layout is None or layout.indptr is not indptr:
+            return super().segment_softmax_shifted(
+                e, indptr, scale, layout=None
+            )
+        if e.dtype != np.float64 or not mutate_input:
+            e = e.astype(np.float64)
+        if layout.n_slots == 0:
+            return e
+        owner = layout.slot_owner
+        seg_max = self.segment_max(e, indptr, 0.0, layout=layout)
+        np.subtract(e, seg_max[owner], out=e)
+        np.multiply(e, scale, out=e)
+        np.exp(e, out=e)
+        denom = self.segment_sum(e, indptr, layout=layout)
+        np.divide(e, denom[owner], out=e)
+        return e
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_ACTIVE: Optional[KernelBackend] = None
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (last write wins)."""
+    _FACTORIES[name] = factory
+
+
+register_backend("reference", ReferenceBackend)
+register_backend("optimized", OptimizedBackend)
+
+
+def available_backends() -> list[str]:
+    """Registered backend names."""
+    return sorted(_FACTORIES)
+
+
+def _resolve(name_or_backend: Union[str, KernelBackend]) -> KernelBackend:
+    if isinstance(name_or_backend, KernelBackend):
+        return name_or_backend
+    try:
+        factory = _FACTORIES[name_or_backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name_or_backend!r}; "
+            f"available: {available_backends()}"
+        ) from None
+    return factory()
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (initialized from ``REPRO_KERNEL_BACKEND``)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _resolve(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+    return _ACTIVE
+
+
+def set_backend(name_or_backend: Union[str, KernelBackend]) -> KernelBackend:
+    """Install a backend globally; returns the previous one.
+
+    The active backend is **process-global, not thread-local**: do not
+    switch backends while runs are stepping on other threads, or those
+    runs would silently mix backends mid-trajectory.  (Safe with the
+    built-in backends, which are bit-identical by contract, but not
+    with a third-party backend that isn't.)  Pick the backend before
+    fanning out concurrent work.
+    """
+    global _ACTIVE
+    previous = get_backend()
+    _ACTIVE = _resolve(name_or_backend)
+    return previous
+
+
+@contextmanager
+def use_backend(name_or_backend: Union[str, KernelBackend]):
+    """Context manager: run a block under a specific backend.
+
+    Process-global, like :func:`set_backend` — see its threading
+    caveat.
+    """
+    previous = set_backend(name_or_backend)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)

@@ -1,0 +1,59 @@
+"""The one shared edge-parallel round kernel.
+
+Every proportional-allocation variant executes the same per-round
+pipeline over the left CSR side:
+
+1. gather per-right-vertex integer exponents to L-CSR slots,
+2. shifted-exponent softmax within each left neighbourhood,
+3. (b-matching only) scale each row by the left vertex's unit budget,
+4. scatter-add the per-edge values back to right-vertex allocations.
+
+Algorithm 1/3 (:mod:`repro.core.proportional`), Algorithm 2's exact
+instrumentation (:mod:`repro.core.sampled`) and the b-matching
+dynamics (:mod:`repro.bmatching.proportional`) all call
+:func:`proportional_round` — this module is the only place the round
+kernel exists (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.backends import KernelBackend, get_backend
+from repro.kernels.workspace import RoundWorkspace
+
+__all__ = ["proportional_round"]
+
+
+def proportional_round(
+    workspace: RoundWorkspace,
+    beta_exp: np.ndarray,
+    scale: float,
+    *,
+    left_units: Optional[np.ndarray] = None,
+    backend: Optional[KernelBackend] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One evaluation of the proportional-split round.
+
+    Returns ``(x, alloc)``: ``x`` is per-edge in canonical order
+    (identical to L-CSR slot order by construction) and ``alloc`` is
+    the resulting per-right-vertex load.  ``scale`` is ``log(1+ε)``;
+    ``left_units`` optionally gives each left vertex a mass budget
+    other than 1 (the b-matching generalization).  ``x`` is always a
+    fresh array — callers may keep it across rounds.
+    """
+    be = backend or get_backend()
+    ws = workspace
+    e_slot = be.gather_as_float(beta_exp, ws.left_adj, row_buf=ws.beta_f64)
+    # The gather above hands us a fresh per-slot array, so the softmax
+    # may compute through it in place.
+    x = be.segment_softmax_shifted(
+        e_slot, ws.left.indptr, scale, layout=ws.left, mutate_input=True
+    )
+    if left_units is not None:
+        units_slot = be.gather(np.asarray(left_units, dtype=np.float64), ws.edge_u)
+        np.multiply(x, units_slot, out=x)
+    alloc = be.scatter_add(ws.left_adj, weights=x, minlength=ws.n_right)
+    return x, alloc

@@ -42,11 +42,13 @@ class EngineStats:
     rounds: int = 0
     messages: int = 0
     max_messages_per_round: int = 0
+    max_inbox: int = 0              # peak per-vertex fan-in over all rounds
 
-    def record_round(self, n_messages: int) -> None:
+    def record_round(self, n_messages: int, max_inbox: int = 0) -> None:
         self.rounds += 1
         self.messages += n_messages
         self.max_messages_per_round = max(self.max_messages_per_round, n_messages)
+        self.max_inbox = max(self.max_inbox, max_inbox)
 
 
 class LocalAlgorithm(ABC):
@@ -133,7 +135,9 @@ class LocalEngine:
         # Barrier: deliver at the start of the next round.
         for msg in staged:
             self._pending[msg.dst].append(msg)
-        self.stats.record_round(len(staged))
+        # The freshly filled outboxes are the fan-in histogram.
+        max_inbox = max((len(box) for box in self._pending), default=0)
+        self.stats.record_round(len(staged), max_inbox)
         return delivered
 
     def run(self, rounds: int) -> EngineStats:

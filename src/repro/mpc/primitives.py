@@ -23,6 +23,9 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from repro.kernels import scatter_add
 from repro.mpc.cluster import MPCCluster
 from repro.mpc.machine import sizeof_words
 
@@ -57,20 +60,33 @@ def route_by_key(
     key_fn: Callable[[Any], int],
     *,
     label: str = "route_by_key",
-) -> None:
+    return_histogram: bool = False,
+) -> np.ndarray | None:
     """Move every record to machine ``key mod M`` (1 round).
 
     After this round all records sharing a key are co-located, which is
     the precondition for any per-key local computation (the MPC
-    group-by).
+    group-by).  With ``return_histogram=True`` the per-destination
+    record histogram is additionally computed (via the shared
+    :func:`repro.kernels.scatter_add` primitive) so callers can track
+    routing skew — the MPC driver records its peak in the ledger.
     """
     n = cluster.n_machines
+    destinations: list[int] | None = [] if return_histogram else None
 
     def mapper(mid: int, records: list[Any]):
         for rec in records:
-            yield int(key_fn(rec)) % n, rec
+            dst = int(key_fn(rec)) % n
+            if destinations is not None:
+                destinations.append(dst)
+            yield dst, rec
 
     cluster.exchange(mapper, label=label)
+    if destinations is None:
+        return None
+    return scatter_add(
+        np.asarray(destinations, dtype=np.int64), minlength=n
+    ).astype(np.int64)
 
 
 def tree_broadcast(

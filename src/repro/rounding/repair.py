@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.capacities import validate_capacities
+from repro.kernels import scatter_add
 from repro.utils.rng import as_generator
 
 __all__ = ["greedy_fill"]
@@ -35,8 +36,8 @@ def greedy_fill(
     """
     caps = validate_capacities(graph, capacities)
     mask = np.asarray(edge_mask, dtype=bool).copy()
-    left_used = np.bincount(graph.edge_u[mask], minlength=graph.n_left)
-    right_used = np.bincount(graph.edge_v[mask], minlength=graph.n_right)
+    left_used = scatter_add(graph.edge_u[mask], minlength=graph.n_left)
+    right_used = scatter_add(graph.edge_v[mask], minlength=graph.n_right)
     if np.any(left_used > 1) or np.any(right_used > caps):
         raise ValueError("input mask is not a feasible allocation")
 

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs import build_graph, from_neighbor_lists
-from repro.graphs.bipartite import _segment_max, _segment_sum
+from repro.kernels import segment_max, segment_sum
 
 
 def test_empty_graph():
@@ -112,13 +112,13 @@ def test_from_neighbor_lists():
 def test_segment_sum_with_empty_rows():
     indptr = np.array([0, 2, 2, 3], dtype=np.int64)
     vals = np.array([1.0, 2.0, 5.0])
-    assert _segment_sum(vals, indptr).tolist() == [3.0, 0.0, 5.0]
+    assert segment_sum(vals, indptr).tolist() == [3.0, 0.0, 5.0]
 
 
 def test_segment_max_with_empty_rows():
     indptr = np.array([0, 2, 2, 3], dtype=np.int64)
     vals = np.array([1.0, 7.0, 5.0])
-    assert _segment_max(vals, indptr, -1.0).tolist() == [7.0, -1.0, 5.0]
+    assert segment_max(vals, indptr, -1.0).tolist() == [7.0, -1.0, 5.0]
 
 
 def test_segment_helpers_on_graph(path_graph):

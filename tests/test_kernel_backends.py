@@ -1,0 +1,280 @@
+"""Backend parity: reference and optimized kernels are bit-identical.
+
+The kernel-layer contract (DESIGN.md §6) is that backends may differ
+in caching and buffer reuse but never in arithmetic: every primitive
+performs the same floating-point operations in the same order, so
+whole trajectories — Algorithm 1/3, the sampled Algorithm 2 and the
+b-matching dynamics — must agree to the last bit.  These tests assert
+exact equality (``np.array_equal``, no tolerances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bmatching.problem import BMatchingInstance
+from repro.bmatching.proportional import proportional_bmatching
+from repro.core.proportional import ProportionalRun
+from repro.core.sampled import SampledRun
+from repro.graphs.bipartite import build_graph
+from repro.graphs.generators import union_of_forests
+from repro.kernels import (
+    OptimizedBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    proportional_round,
+    set_backend,
+    use_backend,
+    workspace_for,
+)
+
+REF = ReferenceBackend()
+OPT = OptimizedBackend()
+
+
+def random_graph(n_left, n_right, m, seed):
+    """Random simple bipartite graph; may leave vertices isolated."""
+    rng = np.random.default_rng(seed)
+    if n_left == 0 or n_right == 0 or m == 0:
+        return build_graph(n_left, n_right, [], [])
+    pairs = {
+        (int(rng.integers(n_left)), int(rng.integers(n_right))) for _ in range(m)
+    }
+    eu, ev = zip(*sorted(pairs))
+    return build_graph(n_left, n_right, eu, ev)
+
+
+GRAPH_CASES = [
+    # (n_left, n_right, m, seed) — includes degree-0 vertices on both
+    # sides (random sampling leaves isolates), a single-edge graph and
+    # the empty graph.
+    (1, 1, 1, 0),
+    (5, 3, 0, 0),
+    (6, 4, 7, 1),
+    (30, 20, 55, 2),
+    (100, 80, 300, 3),
+    (200, 150, 700, 4),
+]
+
+
+# ----------------------------------------------------------------------
+# Primitive-level parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case", GRAPH_CASES)
+def test_segment_primitives_bit_identical(case):
+    g = random_graph(*case)
+    rng = np.random.default_rng(42)
+    per_slot = rng.random(g.n_edges)
+    for indptr, layout in (
+        (g.left_indptr, g.left_layout),
+        (g.right_indptr, g.right_layout),
+    ):
+        s_ref = REF.segment_sum(per_slot, indptr)
+        s_opt = OPT.segment_sum(per_slot, indptr, layout=layout)
+        assert np.array_equal(s_ref, s_opt) and s_ref.dtype == s_opt.dtype
+        m_ref = REF.segment_max(per_slot, indptr, -1.0)
+        m_opt = OPT.segment_max(per_slot, indptr, -1.0, layout=layout)
+        assert np.array_equal(m_ref, m_opt) and m_ref.dtype == m_opt.dtype
+
+
+@pytest.mark.parametrize("case", GRAPH_CASES)
+def test_softmax_and_expand_bit_identical(case):
+    g = random_graph(*case)
+    rng = np.random.default_rng(7)
+    exponents = rng.integers(-40, 40, size=g.n_edges)
+    scale = float(np.log1p(0.125))
+    ref = REF.segment_softmax_shifted(exponents, g.left_indptr, scale)
+    opt = OPT.segment_softmax_shifted(
+        exponents, g.left_indptr, scale, layout=g.left_layout
+    )
+    assert np.array_equal(ref, opt)
+    per_row = rng.random(g.n_left)
+    assert np.array_equal(
+        REF.expand_rows(per_row, g.left_indptr),
+        OPT.expand_rows(per_row, g.left_indptr, layout=g.left_layout),
+    )
+
+
+def test_softmax_does_not_mutate_input_by_default():
+    g = random_graph(30, 20, 55, 2)
+    e = np.random.default_rng(0).random(g.n_edges)
+    before = e.copy()
+    OPT.segment_softmax_shifted(e, g.left_indptr, 0.1, layout=g.left_layout)
+    assert np.array_equal(e, before)
+
+
+def test_scatter_add_matches_bincount_and_add_at():
+    rng = np.random.default_rng(3)
+    idx = rng.integers(0, 17, size=400)
+    w = rng.random(400)
+    expected = np.zeros(17)
+    np.add.at(expected, idx, w)
+    for be in (REF, OPT):
+        assert np.array_equal(be.scatter_add(idx, weights=w, minlength=17), expected)
+        assert np.array_equal(
+            be.scatter_add(idx, minlength=17), np.bincount(idx, minlength=17)
+        )
+
+
+def test_gather_as_float_exact():
+    g = random_graph(30, 20, 55, 5)
+    ws = workspace_for(g)
+    beta = np.random.default_rng(1).integers(-1000, 1000, size=g.n_right)
+    ref = REF.gather_as_float(beta, g.left_adj)
+    opt = OPT.gather_as_float(beta, g.left_adj, row_buf=ws.beta_f64)
+    assert ref.dtype == np.float64 and opt.dtype == np.float64
+    assert np.array_equal(ref, opt)
+
+
+# ----------------------------------------------------------------------
+# Trajectory-level parity
+# ----------------------------------------------------------------------
+def _proportional_trajectory(graph, caps, epsilon, rounds, backend):
+    with use_backend(backend):
+        run = ProportionalRun(graph, caps, epsilon)
+        states = []
+        for _ in range(rounds):
+            run.step()
+            states.append(
+                (run.beta_exp.copy(), run.x_slots.copy(), run.alloc.copy())
+            )
+        return states
+
+
+@pytest.mark.parametrize("case", GRAPH_CASES)
+def test_proportional_run_trajectories_bit_identical(case):
+    g = random_graph(*case)
+    caps = np.ones(g.n_right, dtype=np.int64)
+    ref = _proportional_trajectory(g, caps, 0.1, 12, "reference")
+    opt = _proportional_trajectory(g, caps, 0.1, 12, "optimized")
+    for (b_r, x_r, a_r), (b_o, x_o, a_o) in zip(ref, opt):
+        assert np.array_equal(b_r, b_o)
+        assert np.array_equal(x_r, x_o)
+        assert np.array_equal(a_r, a_o)
+
+
+def _sampled_trajectory(graph, caps, backend):
+    with use_backend(backend):
+        run = SampledRun(
+            graph, caps, 0.2, block=3, sample_budget=4, sampler="keyed", seed=11
+        )
+        run.run_rounds(9)
+        return run.beta_exp.copy(), run.x_slots.copy(), run.alloc.copy()
+
+
+@pytest.mark.parametrize("case", GRAPH_CASES[2:])
+def test_sampled_run_trajectories_bit_identical(case):
+    g = random_graph(*case)
+    caps = np.full(g.n_right, 2, dtype=np.int64)
+    b_r, x_r, a_r = _sampled_trajectory(g, caps, "reference")
+    b_o, x_o, a_o = _sampled_trajectory(g, caps, "optimized")
+    assert np.array_equal(b_r, b_o)
+    assert np.array_equal(x_r, x_o)
+    assert np.array_equal(a_r, a_o)
+
+
+@pytest.mark.parametrize("case", GRAPH_CASES[2:])
+def test_bmatching_trajectories_bit_identical(case):
+    g = random_graph(*case)
+    rng = np.random.default_rng(9)
+    instance = BMatchingInstance(
+        graph=g,
+        b_left=rng.integers(1, 4, size=g.n_left),
+        b_right=rng.integers(1, 5, size=g.n_right),
+    )
+    with use_backend("reference"):
+        ref = proportional_bmatching(instance, 0.125, 10)
+    with use_backend("optimized"):
+        opt = proportional_bmatching(instance, 0.125, 10)
+    assert np.array_equal(ref.x, opt.x)
+    assert ref.weight == opt.weight
+
+
+def test_round_kernel_with_units_bit_identical():
+    g = random_graph(40, 30, 90, 6)
+    ws = workspace_for(g)
+    beta = np.random.default_rng(2).integers(-5, 5, size=g.n_right)
+    units = np.random.default_rng(3).integers(1, 4, size=g.n_left).astype(np.float64)
+    x_ref, a_ref = proportional_round(ws, beta, 0.1, left_units=units, backend=REF)
+    x_opt, a_opt = proportional_round(ws, beta, 0.1, left_units=units, backend=OPT)
+    assert np.array_equal(x_ref, x_opt)
+    assert np.array_equal(a_ref, a_opt)
+
+
+# ----------------------------------------------------------------------
+# Registry / workspace mechanics
+# ----------------------------------------------------------------------
+def test_backend_registry_and_context_manager():
+    assert {"reference", "optimized"} <= set(available_backends())
+    before = get_backend()
+    with use_backend("reference") as be:
+        assert be.name == "reference"
+        assert get_backend() is be
+    assert get_backend().name == before.name
+    with pytest.raises(ValueError):
+        set_backend("no-such-backend")
+
+
+def test_workspace_is_cached_per_graph():
+    g = random_graph(10, 8, 20, 12)
+    ws1 = workspace_for(g)
+    ws2 = workspace_for(g)
+    assert ws1 is ws2
+    assert ws1.left is g.left_layout and ws1.right is g.right_layout
+
+
+def test_slot_owner_matches_repeat():
+    g = random_graph(25, 18, 60, 13)
+    assert np.array_equal(
+        g.left_slot_owner,
+        np.repeat(np.arange(g.n_left), g.left_degrees),
+    )
+    assert np.array_equal(
+        g.right_slot_owner,
+        np.repeat(np.arange(g.n_right), g.right_degrees),
+    )
+
+
+def test_compute_x_alloc_rejects_foreign_workspace():
+    from repro.core.proportional import compute_x_alloc
+
+    a = random_graph(10, 8, 20, 15)
+    b = random_graph(12, 9, 25, 16)
+    beta = np.zeros(a.n_right, dtype=np.int64)
+    with pytest.raises(ValueError, match="different graph"):
+        compute_x_alloc(a, beta, 0.1, workspace=workspace_for(b))
+
+
+def test_concurrent_solves_on_one_graph_match_serial():
+    """Workspace scratch is thread-local: concurrent runs on one graph
+    must not corrupt each other — including the pool pattern where all
+    runs are *constructed* on the main thread (capturing the same
+    cached workspace) and only *stepped* on worker threads."""
+    import threading
+
+    g = random_graph(150, 120, 500, 17)
+    caps = np.full(g.n_right, 2, dtype=np.int64)
+    serial = ProportionalRun(g, caps, 0.1).run(15).beta_exp.copy()
+
+    runs = [ProportionalRun(g, caps, 0.1) for _ in range(4)]
+    assert len({id(r.workspace) for r in runs}) == 1  # all share one workspace
+    threads = [threading.Thread(target=r.run, args=(15,)) for r in runs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(np.array_equal(serial, r.beta_exp) for r in runs)
+
+
+def test_workspace_reuse_across_runs_is_bit_identical():
+    """Two consecutive runs sharing one workspace must not interfere —
+    the scratch buffers carry no state between rounds."""
+    g = random_graph(50, 40, 130, 14)
+    caps = np.ones(g.n_right, dtype=np.int64)
+    with use_backend("optimized"):
+        first = ProportionalRun(g, caps, 0.1).run(8)
+        second = ProportionalRun(g, caps, 0.1).run(8)
+    assert np.array_equal(first.beta_exp, second.beta_exp)
+    assert np.array_equal(first.x_slots, second.x_slots)

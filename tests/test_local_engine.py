@@ -64,6 +64,9 @@ def test_stats_accounting():
     assert engine.stats.rounds == 3
     assert engine.stats.messages == 3 * 2 * g.n_edges
     assert engine.stats.max_messages_per_round == 2 * g.n_edges
+    # Peak fan-in: every vertex messages each neighbour every round, so
+    # the busiest inbox matches the maximum merged degree (2 here).
+    assert engine.stats.max_inbox == 2
 
 
 def test_local_violation_rejected():

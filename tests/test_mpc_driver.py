@@ -82,6 +82,10 @@ def test_faithful_mode_matches_simulate_bitwise():
     assert np.array_equal(faithful.allocation.x, simulate.allocation.x)
     assert faithful.match_weight == simulate.match_weight
     assert faithful.local_rounds == simulate.local_rounds
+    # Faithful mode routes real records, so the ledger saw their skew;
+    # simulate mode never routes and its peak stays 0.
+    assert faithful.ledger.peak_routed_records > 0
+    assert simulate.ledger.peak_routed_records == 0
 
 
 def test_faithful_mode_enforces_space():

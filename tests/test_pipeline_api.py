@@ -9,9 +9,10 @@ import pytest
 
 from repro.baselines.exact import optimum_value
 from repro.cli import main as cli_main
-from repro.core.pipeline import solve_allocation
+from repro.core.pipeline import solve_allocation, solve_allocation_many
 from repro.graphs.generators import union_of_forests
 from repro.graphs.io import save_instance
+from repro.kernels import workspace_for
 
 from tests.conftest import assert_feasible_integral
 
@@ -47,6 +48,66 @@ def test_solve_allocation_deterministic(small_forest_instance):
 def test_solve_allocation_epsilon_capped(small_forest_instance):
     with pytest.raises(ValueError):
         solve_allocation(small_forest_instance, 0.5)
+
+
+def test_solve_allocation_many_batches(small_forest_instance):
+    instances = [
+        small_forest_instance,
+        union_of_forests(24, 20, 2, capacity=2, seed=5),
+    ]
+    results = solve_allocation_many(instances, 0.2, seed=3, boost=False)
+    assert len(results) == len(instances)
+    for inst, res in zip(instances, results):
+        assert_feasible_integral(inst.graph, inst.capacities, res.edge_mask)
+
+
+def test_solve_allocation_many_shares_workspace(monkeypatch, small_forest_instance):
+    """Instances sharing a graph must be solved with one shared cached
+    workspace — observed by spying on the per-instance solve calls."""
+    import dataclasses
+
+    import repro.core.pipeline as pipeline_module
+
+    twin = dataclasses.replace(small_forest_instance)  # same graph object
+    seen = []
+    original = pipeline_module.solve_allocation
+
+    def spy(instance, epsilon, **kwargs):
+        seen.append(kwargs.get("workspace"))
+        return original(instance, epsilon, **kwargs)
+
+    monkeypatch.setattr(pipeline_module, "solve_allocation", spy)
+    pipeline_module.solve_allocation_many(
+        [small_forest_instance, twin], 0.2, seed=3, boost=False
+    )
+    assert len(seen) == 2
+    assert seen[0] is not None
+    assert seen[0] is seen[1]
+    assert seen[0] is workspace_for(small_forest_instance.graph)
+
+
+def test_solve_allocation_many_matches_single(small_forest_instance):
+    """Batched solving changes amortization, never results: with the
+    same spawned seed, the batch entry equals the single-call result."""
+    from repro.utils.rng import spawn
+
+    batch = solve_allocation_many([small_forest_instance], 0.2, seed=9, boost=False)
+    single = solve_allocation(
+        small_forest_instance, 0.2, seed=spawn(9, 1)[0], boost=False
+    )
+    assert np.array_equal(batch[0].edge_mask, single.edge_mask)
+
+
+def test_solve_allocation_many_empty_batch():
+    assert solve_allocation_many([], 0.2, seed=0) == []
+
+
+def test_solve_allocation_many_rejects_workspace_kwarg(small_forest_instance):
+    with pytest.raises(TypeError, match="workspace"):
+        solve_allocation_many(
+            [small_forest_instance], 0.2, seed=0,
+            workspace=workspace_for(small_forest_instance.graph),
+        )
 
 
 # ----------------------------------------------------------------------
