@@ -41,11 +41,21 @@ from repro.core.termination import CertificateStatus, neighbors_of_right_set
 from repro.graphs.instances import AllocationInstance
 from repro.kernels import RoundWorkspace, workspace_for
 from repro.mpc.cluster import MPCCluster, cluster_for
+from repro.mpc.columnar import ColumnarCluster
+from repro.mpc.columns import ColumnBatch
 from repro.mpc.exponentiation import collect_balls
-from repro.mpc.primitives import route_by_key, tree_reduce
+from repro.mpc.primitives import route_by_key, tree_reduce, tree_reduce_vector
 from repro.utils.validation import check_fraction
 
 __all__ = ["MPCRoundLedger", "MPCResult", "solve_allocation_mpc"]
+
+
+def _active_substrate(substrate: Optional[str]) -> str:
+    if substrate is not None:
+        return substrate
+    from repro.mpc.substrate import get_substrate
+
+    return get_substrate()
 
 
 @dataclass
@@ -127,53 +137,67 @@ def _evaluate_certificate_from_run(run: SampledRun, epsilon: float) -> Certifica
     )
 
 
+def _phase_sampled_edges(run: SampledRun, rounds_in_phase: int) -> np.ndarray:
+    """Pre-draw the phase's samples and return the union sampled graph.
+
+    Samples come from the keyed sampler (pure functions of the seed,
+    so the subsequent ``run_phase`` redraws the identical sets).  The
+    union is returned as a ``(k, 2)`` array of merged vertex ids in
+    lexicographic order — the same sequence as ``sorted(edge_set)``
+    over per-record tuples, computed vectorized.
+    """
+    g = run.graph
+    left_groups, right_groups = run.build_phase_groups()
+    pair_codes: list[np.ndarray] = []
+    n_merged = np.int64(g.n_left) + np.int64(g.n_right)
+    for r in range(rounds_in_phase):
+        round_index = run.rounds_completed + r
+        pos_l = run.sampler.sample_positions(left_groups, 0, round_index, run.sample_budget)
+        pos_r = run.sampler.sample_positions(right_groups, 1, round_index, run.sample_budget)
+        slots_l = left_groups.slot_order[pos_l]
+        slots_r = right_groups.slot_order[pos_r]
+        u_l = np.searchsorted(g.left_indptr, slots_l, side="right") - 1
+        b_l = g.left_adj[slots_l].astype(np.int64) + g.n_left
+        v_r = np.searchsorted(g.right_indptr, slots_r, side="right") - 1
+        b_r = np.asarray(v_r, dtype=np.int64) + g.n_left
+        u_r = g.right_adj[slots_r].astype(np.int64)
+        pair_codes.append(u_l.astype(np.int64) * n_merged + b_l)
+        pair_codes.append(u_r * n_merged + b_r)
+    codes = np.unique(np.concatenate(pair_codes)) if pair_codes else np.empty(0, np.int64)
+    return np.stack([codes // n_merged, codes % n_merged], axis=1)
+
+
 def _faithful_phase(
     run: SampledRun,
-    cluster: MPCCluster,
+    cluster: MPCCluster | ColumnarCluster,
     rounds_in_phase: int,
     ledger: MPCRoundLedger,
 ) -> None:
     """Execute one phase's *communication* on the cluster.
 
-    Pre-draws the phase's samples through the keyed sampler (pure
-    functions of the seed, so the subsequent ``run_phase`` redraws the
-    identical sets), builds the union sampled graph, and collects
-    radius-``rounds_in_phase`` balls by graph exponentiation with full
-    space accounting.
+    Builds the union sampled graph (:func:`_phase_sampled_edges`) and
+    collects radius-``2B`` balls by graph exponentiation with full
+    space accounting.  Record construction dispatches on the substrate
+    (DESIGN.md §7); the round schedule and word charges are identical.
     """
     g = run.graph
-    left_groups, right_groups = run.build_phase_groups()
-    sampled_slots_l: list[np.ndarray] = []
-    sampled_slots_r: list[np.ndarray] = []
-    for r in range(rounds_in_phase):
-        round_index = run.rounds_completed + r
-        pos_l = run.sampler.sample_positions(left_groups, 0, round_index, run.sample_budget)
-        pos_r = run.sampler.sample_positions(right_groups, 1, round_index, run.sample_budget)
-        sampled_slots_l.append(left_groups.slot_order[pos_l])
-        sampled_slots_r.append(right_groups.slot_order[pos_r])
-
-    # Union sampled graph over the phase, in merged vertex ids.
-    edge_set: set[tuple[int, int]] = set()
-    for slots in sampled_slots_l:
-        for s in slots.tolist():
-            u = int(np.searchsorted(g.left_indptr, s, side="right") - 1)
-            v = int(g.left_adj[s])
-            edge_set.add((u, g.n_left + v))
-    for slots in sampled_slots_r:
-        for s in slots.tolist():
-            v = int(np.searchsorted(g.right_indptr, s, side="right") - 1)
-            u = int(g.right_adj[s])
-            edge_set.add((u, g.n_left + v))
+    pairs = _phase_sampled_edges(run, rounds_in_phase)
+    columnar = isinstance(cluster, ColumnarCluster)
 
     # Level grouping round: co-locate each vertex's incident sampled
     # edges (the grouping information) by vertex id.
-    cluster.load([("sedge", a, b) for a, b in sorted(edge_set)])
-    ledger.record_routing(
-        route_by_key(
+    if columnar:
+        cluster.load_batches(
+            [ColumnBatch("sedge", {"a": pairs[:, 0], "b": pairs[:, 1]}, key="a")]
+        )
+        hist = route_by_key(cluster, label="grouping", return_histogram=True)
+    else:
+        cluster.load([("sedge", int(a), int(b)) for a, b in pairs])
+        hist = route_by_key(
             cluster, key_fn=lambda rec: rec[1], label="grouping",
             return_histogram=True,
         )
-    )
+    ledger.record_routing(hist)
     ledger.charge("grouping", 1)
     ledger.charge("sampling", 1)  # the sample-announcement round
 
@@ -186,37 +210,55 @@ def _faithful_phase(
         _, exp_rounds = collect_balls(
             cluster,
             g.n_vertices,
-            sorted(edge_set),
+            [tuple(p) for p in pairs.tolist()],
             radius=2 * rounds_in_phase,
         )
         ledger.charge("exponentiation", exp_rounds)
     # Write-back of updated β values: one routing round.
-    cluster.load([("beta", int(v), int(run.beta_exp[v])) for v in range(g.n_right)])
-    ledger.record_routing(
-        route_by_key(
+    if columnar:
+        cluster.load_batches(
+            [
+                ColumnBatch(
+                    "beta",
+                    {
+                        "v": np.arange(g.n_right, dtype=np.int64),
+                        "b": run.beta_exp.astype(np.int64),
+                    },
+                    key="v",
+                )
+            ]
+        )
+        hist = route_by_key(cluster, label="writeback", return_histogram=True)
+    else:
+        cluster.load([("beta", int(v), int(run.beta_exp[v])) for v in range(g.n_right)])
+        hist = route_by_key(
             cluster, key_fn=lambda rec: rec[1], label="writeback",
             return_histogram=True,
         )
-    )
+    ledger.record_routing(hist)
     ledger.charge("writeback", 1)
 
     ledger.peak_machine_words = max(
-        ledger.peak_machine_words,
-        max(m.peak_stored_words for m in cluster.machines),
+        ledger.peak_machine_words, cluster.peak_machine_words()
     )
     ledger.peak_global_words = max(ledger.peak_global_words, cluster.peak_global_words())
     ledger.violations.extend(cluster.violations)
 
 
 def _faithful_certificate_test(
-    run: SampledRun, cluster: MPCCluster, ledger: MPCRoundLedger
+    run: SampledRun, cluster: MPCCluster | ColumnarCluster, ledger: MPCRoundLedger
 ) -> CertificateStatus:
     """The O(1)-round termination test, executed with primitives.
 
     Round 1 routes (edge, is-top-endpoint) records by left vertex so
     each machine can mark its covered left vertices; a tree reduce then
-    folds (|N'|, |L₀|, Σ_{j≥1} alloc) to machine 0.
+    folds (|N'|, |L₀|, Σ_{j≥1} alloc) to machine 0.  The columnar path
+    computes the per-machine partials vectorized (unique counts and
+    arrival-order ``bincount`` sums — the object fold's exact order)
+    and folds them with :func:`tree_reduce_vector`.
     """
+    if isinstance(cluster, ColumnarCluster):
+        return _faithful_certificate_test_columnar(run, cluster, ledger)
     g = run.graph
     top = run.top_level_mask()
     bottom = run.bottom_level_mask()
@@ -267,6 +309,80 @@ def _faithful_certificate_test(
     )
 
 
+def _faithful_certificate_test_columnar(
+    run: SampledRun, cluster: ColumnarCluster, ledger: MPCRoundLedger
+) -> CertificateStatus:
+    g = run.graph
+    top = run.top_level_mask()
+    bottom = run.bottom_level_mask()
+    M = cluster.n_machines
+    cedge = ColumnBatch(
+        "cedge",
+        {
+            "u": g.edge_u.astype(np.int64),
+            "istop": top[g.edge_v].astype(bool),
+        },
+        key="u",
+    )
+    cvert = ColumnBatch(
+        "cvert",
+        {
+            "v": np.arange(g.n_right, dtype=np.int64),
+            "isbot": bottom.astype(bool),
+            "alloc": run.alloc.astype(np.float64),
+        },
+        key="v",
+    )
+    cluster.load_batches([cedge, cvert])  # round-robin, like the flat list
+    ledger.record_routing(
+        route_by_key(cluster, label="certificate/route", return_histogram=True)
+    )
+    ledger.charge("termination_test", 1)
+
+    # Local dedup: covered left vertices per machine, via unique
+    # (machine, u) pairs — the vectorized form of the per-machine set.
+    cedge, cedge_home = cluster.rows("cedge")
+    is_top = cedge.cols["istop"]
+    n_verts = max(1, g.n_vertices)
+    codes = cedge_home[is_top] * np.int64(n_verts) + cedge.cols["u"][is_top]
+    covered = np.bincount(
+        (np.unique(codes) // n_verts).astype(np.int64), minlength=M
+    ).astype(np.int64)
+    cluster.append_rows(
+        ColumnBatch("__covered__", {"count": covered}),
+        np.arange(M, dtype=np.int64),
+    )
+
+    # Per-machine partials (|N'|, |L₀|, Σ alloc above L₀).  The mass
+    # bincount accumulates in row order = the object fold's storage
+    # scan order, so the float sums are bit-identical.
+    cvert, cvert_home = cluster.rows("cvert")
+    isbot = cvert.cols["isbot"]
+    partials = np.zeros((M, 3), dtype=np.float64)
+    partials[:, 0] = covered
+    partials[:, 1] = np.bincount(cvert_home[isbot], minlength=M)
+    partials[:, 2] = np.bincount(
+        cvert_home[~isbot], weights=cvert.cols["alloc"][~isbot], minlength=M
+    )
+    (n_prime, l0_size, upper_mass), reduce_rounds = tree_reduce_vector(
+        cluster, partials, label="certificate/reduce"
+    )
+    ledger.charge("termination_test", reduce_rounds)
+    n_prime = int(n_prime)
+    l0_size = int(l0_size)
+    upper_mass = float(upper_mass)
+    return CertificateStatus(
+        rounds=run.rounds_completed,
+        n_prime=n_prime,
+        l0_size=l0_size,
+        top_size=int(top.sum()),
+        upper_mass=upper_mass,
+        small_frontier=n_prime <= l0_size,
+        mass_condition=upper_mass >= (1.0 - run.epsilon / 2.0) * n_prime,
+        epsilon=run.epsilon,
+    )
+
+
 def solve_allocation_mpc(
     instance: AllocationInstance,
     epsilon: float,
@@ -283,6 +399,7 @@ def solve_allocation_mpc(
     block_override: Optional[int] = None,
     certificate_cadence: Literal["per_phase", "per_guess"] = "per_phase",
     workspace: Optional[RoundWorkspace] = None,
+    substrate: Optional[str] = None,
 ) -> MPCResult:
     """Theorem 3: (2+O(ε))-approximate fractional allocation in MPC.
 
@@ -304,6 +421,12 @@ def solve_allocation_mpc(
     the default) and only at the end of each guess's full budget (the
     literal §3.2.2 schedule, which E6 uses to measure the guessing
     overhead the paper's analysis bounds).
+
+    ``substrate`` picks the faithful-mode cluster representation
+    (``"object"`` / ``"columnar"``, DESIGN.md §7); ``None`` defers to
+    ``REPRO_MPC_SUBSTRATE``.  Both substrates produce identical round
+    ledgers and bit-identical allocations (the parity suite); columnar
+    is the scale path for faithful runs.
     """
     epsilon = check_fraction(epsilon, "epsilon", inclusive_high=0.25)
     if not (0.0 < alpha < 1.0):
@@ -337,11 +460,12 @@ def solve_allocation_mpc(
             record_estimates=False,
             workspace=workspace,
         )
-        cluster: Optional[MPCCluster] = None
+        cluster: Optional[MPCCluster | ColumnarCluster] = None
         if mode == "faithful":
             total_words = 3 * (graph.n_edges + graph.n_vertices) + 16
             cluster = cluster_for(
-                total_words, n_for_alpha=n, alpha=alpha, slack=space_slack, strict=True
+                total_words, n_for_alpha=n, alpha=alpha, slack=space_slack,
+                strict=True, substrate=substrate,
             )
         ledger.guesses.append(guess)
         schedule = _phase_round_schedule(block)
@@ -401,5 +525,6 @@ def solve_allocation_mpc(
             "lambda_known": lam is not None,
             "sample_budget": run.sample_budget,
             "block": run.block,
+            "substrate": _active_substrate(substrate) if mode == "faithful" else None,
         },
     )

@@ -30,6 +30,16 @@ _SIZES: dict[str, tuple[int, list[int]]] = {
     "full": (4, [2, 4, 8, 16, 32, 64, 128]),
 }
 
+# Faithful rows: (n, space_slack) per scale.  The columnar substrate
+# (DESIGN.md §7) makes cluster-accounted runs cheap enough to grow the
+# faithful instance with the scale; slack grows with ball volume so the
+# S-budget stays feasible.
+_FAITHFUL_SIZES: dict[str, list[tuple[int, float]]] = {
+    "smoke": [(16, 512.0)],
+    "normal": [(16, 512.0), (48, 1024.0)],
+    "full": [(16, 512.0), (48, 1024.0), (96, 2048.0)],
+}
+
 EPSILON = 0.2
 ALPHA = 0.5
 
@@ -83,25 +93,29 @@ def run(*, scale: Scale = "normal", seed: int = 0) -> Table:
             phases=res.ledger.phases,
         )
 
-    # Faithful row: full cluster accounting at small scale.
-    small_n = 16
-    inst = union_of_forests(small_n, small_n, 2, capacity=2, seed=seed)
-    res = solve_allocation_mpc(
-        inst, EPSILON, alpha=ALPHA, lam=2, mode="faithful", seed=seed,
-        sample_budget=6, space_slack=512.0,
-    )
-    s_words = int(512.0 * inst.graph.n_vertices**ALPHA)
-    table.add_row(
-        mode="faithful",
-        lambda_bound=2,
-        n=inst.graph.n_vertices,
-        m=inst.graph.n_edges,
-        mpc_rounds=res.mpc_rounds,
-        local_rounds=res.local_rounds,
-        peak_machine_words=res.ledger.peak_machine_words,
-        machine_budget_words=s_words,
-        space_violations=len(res.ledger.violations),
-    )
+    # Faithful rows: full cluster accounting, growing with the scale
+    # (the columnar substrate's payoff — see BENCH_mpc_substrate.json).
+    from repro.mpc.substrate import get_substrate
+
+    for small_n, slack in _FAITHFUL_SIZES[scale]:
+        inst = union_of_forests(small_n, small_n, 2, capacity=2, seed=seed)
+        res = solve_allocation_mpc(
+            inst, EPSILON, alpha=ALPHA, lam=2, mode="faithful", seed=seed,
+            sample_budget=6, space_slack=slack,
+        )
+        s_words = int(slack * inst.graph.n_vertices**ALPHA)
+        table.add_row(
+            mode="faithful",
+            lambda_bound=2,
+            n=inst.graph.n_vertices,
+            m=inst.graph.n_edges,
+            mpc_rounds=res.mpc_rounds,
+            local_rounds=res.local_rounds,
+            peak_machine_words=res.ledger.peak_machine_words,
+            machine_budget_words=s_words,
+            space_violations=len(res.ledger.violations),
+            substrate=get_substrate(),
+        )
 
     if len(ks) >= 2:
         verdict = shape_verdict(ks, measured)

@@ -10,7 +10,10 @@ The substitution argument (DESIGN.md §4): round counts and space usage
 are *model-level* quantities, so a simulator that enforces exactly the
 model's constraints measures exactly the quantities Theorem 3 bounds.
 Machines here are Python lists, but nothing about the accounting
-depends on that.
+depends on that — this module is the *object* reference substrate;
+:mod:`repro.mpc.columnar` is the vectorized column-batch substrate
+with identical accounting (DESIGN.md §7), selected via
+:mod:`repro.mpc.substrate`.
 """
 
 from __future__ import annotations
@@ -22,9 +25,25 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.mpc.machine import Machine, SpaceViolation, sizeof_words
 from repro.utils.validation import check_positive_int
 
-__all__ = ["MPCCluster", "cluster_for", "RoundLog"]
+__all__ = [
+    "MPCCluster",
+    "cluster_for",
+    "RoundLog",
+    "storage_violation_msg",
+    "traffic_violation_msg",
+]
 
 MapFn = Callable[[int, list[Any]], Iterable[tuple[int, Any]]]
+
+
+def storage_violation_msg(machine_id: int, stored: int, capacity: int) -> str:
+    """The storage-violation string both substrates record verbatim."""
+    return f"machine {machine_id}: stored {stored} > {capacity}"
+
+
+def traffic_violation_msg(machine_id: int, sent: int, capacity: int) -> str:
+    """The traffic-violation string both substrates record verbatim."""
+    return f"machine {machine_id}: sent {sent} > {capacity} in one round"
 
 
 @dataclass(frozen=True)
@@ -67,6 +86,10 @@ class MPCCluster:
 
     def peak_global_words(self) -> int:
         return sum(m.peak_stored_words for m in self.machines)
+
+    def peak_machine_words(self) -> int:
+        """Worst per-machine storage high-water mark (words)."""
+        return max(m.peak_stored_words for m in self.machines)
 
     def all_records(self) -> list[Any]:
         """Flatten every machine's storage (host-side readout; not a
@@ -136,7 +159,7 @@ class MPCCluster:
             problems = []
             if m.stored_words > m.capacity_words:
                 problems.append(
-                    f"machine {m.machine_id}: stored {m.stored_words} > {m.capacity_words}"
+                    storage_violation_msg(m.machine_id, m.stored_words, m.capacity_words)
                 )
             if problems:
                 self.violations.extend(problems)
@@ -148,8 +171,9 @@ class MPCCluster:
             problems = []
             if m.sent_words_this_round > m.capacity_words:
                 problems.append(
-                    f"machine {m.machine_id}: sent {m.sent_words_this_round} "
-                    f"> {m.capacity_words} in one round"
+                    traffic_violation_msg(
+                        m.machine_id, m.sent_words_this_round, m.capacity_words
+                    )
                 )
             if problems:
                 self.violations.extend(problems)
@@ -164,13 +188,18 @@ def cluster_for(
     *,
     slack: float = 4.0,
     strict: bool = True,
-) -> MPCCluster:
+    substrate: str | None = None,
+):
     """Build a cluster sized for the sublinear regime.
 
     ``S = slack · n^α`` words per machine (the constant ``slack``
     absorbs record framing, mirroring the O(·) in the theorem), and
     enough machines that the aggregate capacity is ``2×`` the input —
     the usual constant-factor headroom for shuffles.
+
+    ``substrate`` selects the record representation (``"object"`` or
+    ``"columnar"``, DESIGN.md §7); ``None`` defers to the registry's
+    active substrate (``REPRO_MPC_SUBSTRATE`` / ``set_substrate``).
     """
     if not (0.0 < alpha < 1.0):
         raise ValueError(f"alpha must lie in (0,1), got {alpha}")
@@ -178,4 +207,6 @@ def cluster_for(
     n_for_alpha = check_positive_int(n_for_alpha, "n_for_alpha")
     words = max(16, int(slack * n_for_alpha**alpha))
     n_machines = max(1, math.ceil(2.0 * total_words / words))
-    return MPCCluster(n_machines, words, strict=strict)
+    from repro.mpc.substrate import make_cluster  # late: avoids import cycle
+
+    return make_cluster(n_machines, words, strict=strict, substrate=substrate)

@@ -26,6 +26,8 @@ from typing import Iterable
 import numpy as np
 
 from repro.mpc.cluster import MPCCluster
+from repro.mpc.columnar import ColumnarCluster, Shipment
+from repro.mpc.columns import ColumnBatch, ragged_from_rows
 
 __all__ = ["collect_balls", "ball_vertices", "expected_doubling_rounds"]
 
@@ -118,6 +120,10 @@ def collect_balls(
         raise ValueError("radius must be >= 1")
     n_machines = cluster.n_machines
     owner = owner_of_vertex or (lambda v: v % n_machines)
+    if isinstance(cluster, ColumnarCluster):
+        return _collect_balls_columnar(
+            cluster, n_vertices, edge_list, radius, owner
+        )
 
     # Radius-1 balls from the raw edges (input loading, costs no rounds).
     incident: dict[int, set[tuple[int, int]]] = defaultdict(set)
@@ -188,4 +194,145 @@ def collect_balls(
     for rec in cluster.all_records():
         if rec[0] == BALL_TAG:
             out[rec[1]] = rec[2]
+    return out, rounds_used
+
+
+# ----------------------------------------------------------------------
+# Columnar path (DESIGN.md §7)
+# ----------------------------------------------------------------------
+def _ball_batch(centers: np.ndarray, edge_rows: list) -> ColumnBatch:
+    """Balls as a ragged batch: center column + flattened edge pairs.
+
+    Per-record words = 1 (tag) + 1 (center) + 2·|edges| — identical to
+    ``sizeof_words(("ball", v, edges))``.
+    """
+    offsets, payload = ragged_from_rows(
+        [[c for pair in row for c in pair] for row in edge_rows]
+    )
+    return ColumnBatch(BALL_TAG, {"v": centers}, offsets, payload, key="v")
+
+
+def _ball_pairs(batch: ColumnBatch, i: int) -> tuple[tuple[int, int], ...]:
+    flat = batch.payload_row(i).tolist()
+    return tuple(zip(flat[0::2], flat[1::2]))
+
+
+def _collect_balls_columnar(
+    cluster: ColumnarCluster,
+    n_vertices: int,
+    edge_list: list[tuple[int, int]],
+    radius: int,
+    owner,
+) -> tuple[dict[int, tuple[tuple[int, int], ...]], int]:
+    """Column-batch graph exponentiation.
+
+    The per-ball frontier/truncate helpers are shared with the object
+    path (machine-local compute is free in the model either way); the
+    communication — request and response shipping — is expressed as
+    ragged column shipments, so word pricing and partitioning are
+    vectorized and the round ledger matches the object substrate
+    exactly.
+    """
+    n_machines = cluster.n_machines
+    incident: dict[int, set[tuple[int, int]]] = defaultdict(set)
+    for a, b in edge_list:
+        incident[a].add((a, b))
+        incident[b].add((a, b))
+    centers = np.arange(n_vertices, dtype=np.int64)
+    edge_rows = [tuple(sorted(incident.get(v, set()))) for v in range(n_vertices)]
+    home = np.array([owner(v) % n_machines for v in range(n_vertices)], dtype=np.int64)
+    cluster.load_batches([_ball_batch(centers, edge_rows)], home=[home])
+
+    rounds_used = 0
+    current_radius = 1
+    while current_radius < radius:
+        target = min(radius, 2 * current_radius)
+        cur = current_radius
+
+        # Exchange A: frontier-keyed requests; balls persist in place.
+        balls, ball_home = cluster.rows(BALL_TAG)
+        req_w: list[int] = []
+        req_center: list[int] = []
+        req_src: list[int] = []
+        for i in range(balls.n_records):
+            center = int(balls.cols["v"][i])
+            for w in _frontier(_ball_pairs(balls, i), center, cur):
+                if w != center:
+                    req_w.append(w)
+                    req_center.append(center)
+                    req_src.append(int(ball_home[i]))
+        ships = cluster.keep_all_shipments()
+        if req_w:
+            ships.append(
+                Shipment(
+                    ColumnBatch(
+                        "req",
+                        {
+                            "w": np.asarray(req_w, dtype=np.int64),
+                            "center": np.asarray(req_center, dtype=np.int64),
+                        },
+                    ),
+                    np.asarray(req_src, dtype=np.int64),
+                    np.array([owner(w) % n_machines for w in req_w], dtype=np.int64),
+                )
+            )
+        cluster.exchange_columnar(ships, label="exponentiation/request")
+        rounds_used += 1
+
+        # Exchange B: owners answer with the requested balls; requests
+        # are consumed.  Each request is served from its owner machine,
+        # where the ball is resident by construction.
+        balls, ball_home = cluster.rows(BALL_TAG)
+        local_balls = {
+            int(balls.cols["v"][i]): _ball_pairs(balls, i)
+            for i in range(balls.n_records)
+        }
+        ships = cluster.keep_all_shipments(exclude=("req",))
+        if cluster.has_kind("req"):
+            reqs, req_home = cluster.rows("req")
+            resp_center = reqs.cols["center"]
+            resp_rows = [
+                local_balls.get(int(w), ()) for w in reqs.cols["w"]
+            ]
+            offsets, payload = ragged_from_rows(
+                [[c for pair in row for c in pair] for row in resp_rows]
+            )
+            ships.append(
+                Shipment(
+                    ColumnBatch("resp", {"center": resp_center}, offsets, payload),
+                    req_home,
+                    np.array(
+                        [owner(int(c)) % n_machines for c in resp_center],
+                        dtype=np.int64,
+                    ),
+                )
+            )
+        cluster.exchange_columnar(ships, label="exponentiation/response")
+        rounds_used += 1
+
+        # Local merge: union responses into balls, truncate to target.
+        balls, ball_home = cluster.rows(BALL_TAG)
+        extras: dict[int, list] = defaultdict(list)
+        if cluster.has_kind("resp"):
+            resp, _ = cluster.rows("resp")
+            for i in range(resp.n_records):
+                extras[int(resp.cols["center"][i])].append(_ball_pairs(resp, i))
+            cluster.drop_kind("resp")
+        new_rows = []
+        for i in range(balls.n_records):
+            center = int(balls.cols["v"][i])
+            edges = set(_ball_pairs(balls, i))
+            for extra in extras.get(center, []):
+                edges.update(extra)
+            new_rows.append(_truncate(edges, center, target))
+        cluster.replace_kind(
+            BALL_TAG, _ball_batch(balls.cols["v"], new_rows), ball_home
+        )
+        current_radius = target
+
+    balls, _ = cluster.rows(BALL_TAG)
+    out = {
+        int(balls.cols["v"][i]): _ball_pairs(balls, i)
+        for i in range(balls.n_records)
+    }
     return out, rounds_used

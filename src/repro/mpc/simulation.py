@@ -34,6 +34,8 @@ from repro.core.proportional import ProportionalRun
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.capacities import validate_capacities
 from repro.mpc.cluster import MPCCluster, cluster_for
+from repro.mpc.columnar import ColumnarCluster, Shipment
+from repro.mpc.columns import ColumnBatch
 from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = ["DirectSimulationResult", "simulate_local_rounds_on_cluster"]
@@ -59,12 +61,18 @@ def simulate_local_rounds_on_cluster(
     *,
     alpha: float = 0.5,
     space_slack: float = 64.0,
-    cluster: Optional[MPCCluster] = None,
+    cluster: Optional[MPCCluster | ColumnarCluster] = None,
+    substrate: Optional[str] = None,
 ) -> DirectSimulationResult:
     """Run τ exact Algorithm-1 rounds at 3 MPC rounds each.
 
     Returns the final β exponents and the last round's allocs, both of
     which match :class:`ProportionalRun` exactly (tested).
+
+    ``substrate`` selects the cluster representation (DESIGN.md §7);
+    the columnar path executes the identical three-exchange schedule
+    with vectorized routing and sequential-order NumPy folds, so its
+    ledger *and* numbers are bit-identical to the object path (tested).
     """
     caps = validate_capacities(graph, capacities)
     epsilon = check_fraction(epsilon, "epsilon")
@@ -75,8 +83,10 @@ def simulate_local_rounds_on_cluster(
         total_words = 8 * (graph.n_edges + graph.n_vertices) + 16
         cluster = cluster_for(
             total_words, n_for_alpha=max(2, graph.n_vertices), alpha=alpha,
-            slack=space_slack, strict=True,
+            slack=space_slack, strict=True, substrate=substrate,
         )
+    if isinstance(cluster, ColumnarCluster):
+        return _simulate_columnar(graph, caps, epsilon, tau, log1p_eps, cluster)
     n_machines = cluster.n_machines
 
     # Resident state: edge records keyed by v, plus β/capacity records.
@@ -178,6 +188,165 @@ def simulate_local_rounds_on_cluster(
         alloc=alloc_final,
         local_rounds=tau,
         mpc_rounds=cluster.rounds_executed,
-        peak_machine_words=max(m.peak_stored_words for m in cluster.machines),
+        peak_machine_words=cluster.peak_machine_words(),
+        violations=list(cluster.violations),
+    )
+
+
+# ----------------------------------------------------------------------
+# Columnar path (DESIGN.md §7)
+# ----------------------------------------------------------------------
+def _simulate_columnar(
+    graph: BipartiteGraph,
+    caps: np.ndarray,
+    epsilon: float,
+    tau: int,
+    log1p_eps: float,
+    cluster: ColumnarCluster,
+) -> DirectSimulationResult:
+    """The three-exchange schedule on column batches.
+
+    Bit-parity with the object path rests on three facts (asserted by
+    ``tests/test_columnar_substrate.py``):
+
+    * rows stay in the object substrate's arrival order (the columnar
+      cluster's row-order contract), so per-vertex groups see their
+      contributions in the same sequence;
+    * ``np.bincount`` accumulates *sequentially* in element order,
+      reproducing the Python-loop folds exactly (``np.add.reduceat``
+      does not — it may re-associate — so every float segment sum here
+      is a bincount); and
+    * the shifted exponentials are looked up from a table of
+      ``math.exp(d · log(1+ε))`` keyed by the integer shift ``d``, the
+      very calls the object path makes per record.
+    """
+    M = cluster.n_machines
+    n_right = graph.n_right
+
+    edge_batch = ColumnBatch(
+        "edge",
+        {
+            "u": graph.edge_u.astype(np.int64),
+            "v": graph.edge_v.astype(np.int64),
+        },
+        key="v",
+    )
+    vs = np.arange(n_right, dtype=np.int64)
+    beta_batch = ColumnBatch(
+        "beta", {"v": vs, "b": np.zeros(n_right, dtype=np.int64)}, key="v"
+    )
+    cap_batch = ColumnBatch(
+        "cap", {"v": vs.copy(), "c": caps.astype(np.int64)}, key="v"
+    )
+    cluster.load_batches(
+        [edge_batch, beta_batch, cap_batch],
+        home=[edge_batch.cols["v"] % M, vs % M, vs % M],
+    )
+
+    exp_cache: dict[int, float] = {}
+    alloc_final = np.zeros(n_right, dtype=np.float64)
+    for _ in range(tau):
+        # Exchange 1 (join): β flows onto co-located edges; edge records
+        # leave annotated with the current exponent, keyed by u.
+        eb, eh = cluster.rows("edge")
+        bb, bh = cluster.rows("beta")
+        cb, ch = cluster.rows("cap")
+        beta_of = np.zeros(n_right, dtype=np.int64)
+        beta_of[bb.cols["v"]] = bb.cols["b"]
+        u, v = eb.cols["u"], eb.cols["v"]
+        edge_b = ColumnBatch("edge_b", {"u": u, "v": v, "b": beta_of[v]})
+        cluster.exchange_columnar(
+            [
+                Shipment(edge_b, eh, u % M),
+                Shipment(bb, bh, bh),
+                Shipment(cb, ch, ch),
+            ],
+            label="direct/join",
+        )
+
+        # Exchange 2 (normalize): per left vertex, proportional split;
+        # contributions return keyed by v.  Rows are regrouped by the
+        # *first appearance* of each u — the object substrate's
+        # ``by_left`` dict order — so the segment folds below run in
+        # its exact summation order.
+        xb, xh = cluster.rows("edge_b")
+        bb, bh = cluster.rows("beta")
+        cb, ch = cluster.rows("cap")
+        u, v, b = xb.cols["u"], xb.cols["v"], xb.cols["b"]
+        if u.shape[0]:
+            _, first_idx, inv = np.unique(u, return_index=True, return_inverse=True)
+            order = np.argsort(first_idx[inv], kind="stable")
+            u_s, v_s, b_s, home_s = u[order], v[order], b[order], xh[order]
+            starts = np.flatnonzero(np.r_[True, u_s[1:] != u_s[:-1]])
+            seg_len = np.diff(np.r_[starts, u_s.shape[0]])
+            max_b = np.maximum.reduceat(b_s, starts)
+            diff = b_s - np.repeat(max_b, seg_len)
+            uniq_d, inv_d = np.unique(diff, return_inverse=True)
+            table = np.array(
+                [
+                    exp_cache.setdefault(int(d), math.exp(int(d) * log1p_eps))
+                    for d in uniq_d
+                ]
+            )
+            w = table[inv_d]
+            seg_id = np.repeat(np.arange(starts.shape[0]), seg_len)
+            denom = np.bincount(seg_id, weights=w, minlength=starts.shape[0])
+            x_vals = w / denom[seg_id]
+        else:
+            u_s = v_s = np.empty(0, dtype=np.int64)
+            home_s = np.empty(0, dtype=np.int64)
+            x_vals = np.empty(0, dtype=np.float64)
+        x_batch = ColumnBatch("x", {"u": u_s, "v": v_s, "w": x_vals})
+        cluster.exchange_columnar(
+            [
+                Shipment(bb, bh, bh),
+                Shipment(cb, ch, ch),
+                Shipment(x_batch, home_s, v_s % M),
+            ],
+            label="direct/normalize",
+        )
+
+        # Exchange 3 (aggregate): per right vertex, fold alloc and step
+        # β; x records are consumed, edges are reconstituted at home.
+        xb, xh = cluster.rows("x")
+        bb, bh = cluster.rows("beta")
+        cb, ch = cluster.rows("cap")
+        alloc_vec = np.bincount(
+            xb.cols["v"], weights=xb.cols["w"], minlength=n_right
+        )
+        cap_of = np.zeros(n_right, dtype=np.int64)
+        cap_of[cb.cols["v"]] = cb.cols["c"]
+        bv, b = bb.cols["v"], bb.cols["b"]
+        a = alloc_vec[bv]
+        c = cap_of[bv].astype(np.float64)
+        inc = a <= c / (1.0 + epsilon)
+        dec = ~inc & (a >= c * (1.0 + epsilon))
+        beta_new = ColumnBatch(
+            "beta",
+            {"v": bv, "b": b + inc.astype(np.int64) - dec.astype(np.int64)},
+            key="v",
+        )
+        edge_new = ColumnBatch(
+            "edge", {"u": xb.cols["u"], "v": xb.cols["v"]}, key="v"
+        )
+        cluster.exchange_columnar(
+            [
+                Shipment(edge_new, xh, xh),
+                Shipment(beta_new, bh, bh),
+                Shipment(cb, ch, ch),
+            ],
+            label="direct/aggregate",
+        )
+        alloc_final = alloc_vec
+
+    bb, _ = cluster.rows("beta")
+    beta_exp = np.zeros(n_right, dtype=np.int64)
+    beta_exp[bb.cols["v"]] = bb.cols["b"]
+    return DirectSimulationResult(
+        beta_exp=beta_exp,
+        alloc=alloc_final,
+        local_rounds=tau,
+        mpc_rounds=cluster.rounds_executed,
+        peak_machine_words=cluster.peak_machine_words(),
         violations=list(cluster.violations),
     )

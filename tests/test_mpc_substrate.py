@@ -180,6 +180,38 @@ def test_fan_out_and_depth():
         fan_out(c, 0)
 
 
+def test_fan_out_raises_on_oversized_payload():
+    """A payload beyond S cannot be shipped at all: that is a budget
+    violation, not a silent fan-out-2 tree."""
+    c = MPCCluster(8, 100)
+    with pytest.raises(SpaceViolation, match="exceeds the per-machine budget"):
+        fan_out(c, 101)
+    # The boundary payload (exactly S) is shippable, at the documented
+    # minimum fan-out of 2.
+    assert fan_out(c, 100) == 2
+
+
+def test_fan_out_nonstrict_records_violation_and_clamps():
+    """strict=False clusters record the violation and keep the
+    historical clamp, like every other budget check."""
+    c = MPCCluster(8, 100, strict=False)
+    assert fan_out(c, 101) == 2
+    assert any("exceeds the per-machine budget" in v for v in c.violations)
+
+
+def test_fan_out_documented_clamp_when_budget_tight():
+    """S // payload == 1 clamps to fan-out 2; the per-round traffic
+    check still polices a parent that really sends to two children."""
+    c = MPCCluster(4, 100)
+    assert fan_out(c, 60) == 2
+    # Broadcasting a 59-word payload (60 with the tag) through 4
+    # machines makes the root send 2 copies = 120 > S in one round:
+    # the exchange-time traffic check catches what fan_out clamped.
+    c.load([])
+    with pytest.raises(SpaceViolation, match="in one round"):
+        tree_broadcast(c, tuple(range(59)))
+
+
 def test_sample_sort_orders_globally():
     rng = np.random.default_rng(3)
     values = rng.permutation(60).tolist()
