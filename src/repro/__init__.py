@@ -23,7 +23,10 @@ Subpackages
 ``repro.analysis``
     Metrics, theoretical predictions, concentration diagnostics.
 ``repro.experiments``
-    The theorem-driven experiment suite (E1-E11) and its harness.
+    The theorem-driven experiment suite (E0–E12) and its harness.
+``repro.serve``
+    The serving layer: resident sessions with warm-started solves and
+    the thread-parallel batch executor (DESIGN.md §8).
 """
 
 __version__ = "1.0.0"

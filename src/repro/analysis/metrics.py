@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.fractional import FractionalAllocation
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.capacities import validate_capacities
+from repro.graphs.capacities import validate_integral_allocation
 
 __all__ = [
     "approximation_ratio",
@@ -50,12 +50,9 @@ def integral_stats(
     graph: BipartiteGraph, capacities: np.ndarray, edge_mask: np.ndarray
 ) -> IntegralStats:
     """Feasibility-checked summary of an integral allocation."""
-    caps = validate_capacities(graph, capacities)
-    mask = np.asarray(edge_mask, dtype=bool)
-    left_used = np.bincount(graph.edge_u[mask], minlength=graph.n_left)
-    right_used = np.bincount(graph.edge_v[mask], minlength=graph.n_right)
-    if np.any(left_used > 1) or np.any(right_used > caps):
-        raise ValueError("edge_mask is not a feasible allocation")
+    caps, mask, left_used, right_used = validate_integral_allocation(
+        graph, capacities, edge_mask
+    )
     active_left = int((graph.left_degrees > 0).sum())
     total_cap = int(caps.sum())
     return IntegralStats(

@@ -3,15 +3,24 @@
 Usage::
 
     python -m repro.cli solve instance.json [--epsilon 0.2] [--seed 0]
+    python -m repro.cli batch requests.jsonl --instance instance.json
     python -m repro.cli generate forests --out instance.json \\
         --n-left 200 --n-right 150 --k 3
     python -m repro.cli info instance.json
 
 ``solve`` runs the full paper pipeline (MPC fractional → §6 rounding →
-repair → App.-B boosting) and prints the audit summary; ``generate``
-materializes a benchmark-family instance to the JSON format
-(:mod:`repro.graphs.io`); ``info`` prints instance statistics
-including the measured degeneracy.
+repair → App.-B boosting) and prints the audit summary; ``batch``
+serves a JSONL request file through a resident
+:class:`~repro.serve.AllocationSession` (warm-started solves, optional
+thread parallelism — DESIGN.md §8); ``generate`` materializes a
+benchmark-family instance to the JSON format (:mod:`repro.graphs.io`);
+``info`` prints instance statistics including the measured degeneracy.
+
+``solve`` and ``batch`` accept ``--backend`` (kernel backend,
+DESIGN.md §6) and ``--substrate`` (faithful-mode MPC substrate,
+DESIGN.md §7), mapping onto the ``set_backend`` / ``set_substrate``
+registries — equivalent to the ``REPRO_KERNEL_BACKEND`` /
+``REPRO_MPC_SUBSTRATE`` environment variables.
 """
 
 from __future__ import annotations
@@ -27,11 +36,72 @@ from repro.graphs.io import load_instance, save_instance
 __all__ = ["main"]
 
 
+def _load_instance_checked(path: str):
+    """Load an instance file; exit code 2 on missing/malformed input."""
+    try:
+        return load_instance(path)
+    except FileNotFoundError:
+        print(f"instance file not found: {path}", file=sys.stderr)
+    except OSError as exc:
+        print(f"cannot read instance file: {path} ({exc})", file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print(f"instance file is not valid JSON: {path} ({exc})", file=sys.stderr)
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"malformed instance file: {path} ({exc})", file=sys.stderr)
+    return None
+
+
+def _apply_engine_flags(args: argparse.Namespace) -> bool:
+    """Install --backend / --substrate selections; False on bad names."""
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from repro.kernels import available_backends, set_backend
+
+        try:
+            set_backend(backend)
+        except (KeyError, ValueError):
+            print(
+                f"unknown kernel backend {backend!r}; "
+                f"available: {available_backends()}",
+                file=sys.stderr,
+            )
+            return False
+    substrate = getattr(args, "substrate", None)
+    if substrate is not None:
+        from repro.mpc.substrate import available_substrates, set_substrate
+
+        try:
+            set_substrate(substrate)
+        except ValueError:
+            print(
+                f"unknown MPC substrate {substrate!r}; "
+                f"available: {available_substrates()}",
+                file=sys.stderr,
+            )
+            return False
+    return True
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None,
+        help="kernel backend (see repro.kernels.available_backends)",
+    )
+    parser.add_argument(
+        "--substrate", default=None,
+        help="faithful-mode MPC substrate (object|columnar)",
+    )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.baselines.exact import optimum_value
     from repro.core.pipeline import solve_allocation
 
-    instance = load_instance(args.instance)
+    if not _apply_engine_flags(args):
+        return 2
+    instance = _load_instance_checked(args.instance)
+    if instance is None:
+        return 2
     result = solve_allocation(
         instance, args.epsilon, seed=args.seed, boost=not args.no_boost
     )
@@ -41,6 +111,62 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         summary["opt"] = opt
         summary["ratio"] = round(opt / max(1, result.size), 4)
     print(json.dumps({"instance": instance.describe(), "result": summary}, indent=2))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.serve import AllocationSession, SolveRequest, solve_stream
+
+    if not _apply_engine_flags(args):
+        return 2
+    instance = _load_instance_checked(args.instance)
+    if instance is None:
+        return 2
+    try:
+        with open(args.requests, encoding="utf-8") as f:
+            numbered = [
+                (lineno, line)
+                for lineno, line in enumerate(f, start=1)
+                if line.strip()
+            ]
+    except OSError as exc:
+        print(f"cannot read request file: {args.requests} ({exc})", file=sys.stderr)
+        return 2
+    requests = []
+    for lineno, line in numbered:
+        try:
+            requests.append(SolveRequest.from_json(json.loads(line)))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            print(
+                f"malformed request on line {lineno} of {args.requests}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        session = AllocationSession(
+            instance, epsilon=args.epsilon, boost=not args.no_boost
+        )
+        # Prime-then-batch (DESIGN.md §8.3): the first request runs
+        # serially so the batched remainder warm-starts.
+        results = solve_stream(
+            session, requests, seed=args.seed, max_workers=args.workers
+        )
+    except ValueError as exc:
+        # e.g. a bad --epsilon, or capacity_updates naming a vertex
+        # outside the instance
+        print(f"invalid request for this instance: {exc}", file=sys.stderr)
+        return 2
+    for i, result in enumerate(results):
+        row = {"request": i, **result.summary()}
+        row["warm_start"] = bool(result.meta.get("warm_start"))
+        tag = requests[i].tag
+        if tag is not None:
+            row["tag"] = tag
+        print(json.dumps(row))
+    print(
+        json.dumps({"session_stats": session.stats.as_dict()}),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -83,7 +209,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.graphs.properties import profile_graph
 
-    instance = load_instance(args.instance)
+    instance = _load_instance_checked(args.instance)
+    if instance is None:
+        return 2
     info = instance.describe()
     info["degeneracy"] = degeneracy(instance.graph)
     info["max_degree"] = instance.graph.max_degree
@@ -108,7 +236,31 @@ def main(argv: list[str] | None = None) -> int:
         "--with-opt", action="store_true",
         help="also compute the exact optimum (Dinic) and the ratio",
     )
+    _add_engine_flags(p_solve)
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="serve a JSONL request file through a resident session",
+    )
+    p_batch.add_argument(
+        "requests",
+        help="JSONL file: one SolveRequest object per line "
+             '(e.g. {"epsilon": 0.2, "capacity_updates": {"0": 3}})',
+    )
+    p_batch.add_argument(
+        "--instance", required=True, help="shared instance JSON file"
+    )
+    p_batch.add_argument("--epsilon", type=float, default=0.2,
+                         help="session default epsilon")
+    p_batch.add_argument("--seed", type=int, default=0,
+                         help="batch seed (per-position streams)")
+    p_batch.add_argument("--no-boost", action="store_true",
+                         help="session default: skip boosting")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="thread pool size (default: cpu-based)")
+    _add_engine_flags(p_batch)
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_gen = sub.add_parser("generate", help="write a benchmark-family instance")
     p_gen.add_argument("family", help=f"one of {sorted(FAMILY_BUILDERS)}")

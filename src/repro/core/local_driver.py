@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.core import params
 from repro.core.fractional import FractionalAllocation
 from repro.core.proportional import ProportionalRun, ThresholdSchedule
@@ -93,6 +95,7 @@ def solve_fractional_fixed_tau(
     thresholds: Optional[ThresholdSchedule] = None,
     record_trace: bool = False,
     workspace: Optional[RoundWorkspace] = None,
+    initial_exponents: Optional[np.ndarray] = None,
 ) -> LocalRunResult:
     """Theorem 2/9: Algorithm 1 for a λ-derived fixed round budget.
 
@@ -108,7 +111,7 @@ def solve_fractional_fixed_tau(
         tau = params.tau_two_approx(lam, epsilon)
     run = ProportionalRun(
         instance.graph, instance.capacities, epsilon, thresholds=thresholds,
-        workspace=workspace,
+        workspace=workspace, initial_exponents=initial_exponents,
     )
     trace: Optional[RoundTrace] = None
     if record_trace:
@@ -139,6 +142,7 @@ def solve_fractional_until_certificate(
     thresholds: Optional[ThresholdSchedule] = None,
     record_trace: bool = False,
     workspace: Optional[RoundWorkspace] = None,
+    initial_exponents: Optional[np.ndarray] = None,
 ) -> LocalRunResult:
     """The λ-oblivious driver: stop at the first satisfied certificate.
 
@@ -154,7 +158,7 @@ def solve_fractional_until_certificate(
         max_rounds = params.tau_two_approx(worst_lambda, epsilon) + 2
     run = ProportionalRun(
         instance.graph, instance.capacities, epsilon, thresholds=thresholds,
-        workspace=workspace,
+        workspace=workspace, initial_exponents=initial_exponents,
     )
     trace = RoundTrace() if record_trace else None
     certificate: Optional[CertificateStatus] = None
@@ -190,13 +194,15 @@ def solve_fractional_one_plus_eps(
     tau: Optional[int] = None,
     record_trace: bool = False,
     workspace: Optional[RoundWorkspace] = None,
+    initial_exponents: Optional[np.ndarray] = None,
 ) -> LocalRunResult:
     """Theorem 20 regime: long run, (1 + (1+14)ε) with Algorithm 1's
     ``k = 1`` thresholds (Lemma 19 with k = 1)."""
     if tau is None:
         tau = params.tau_one_plus_eps(instance.graph.n_right, epsilon)
     run = ProportionalRun(
-        instance.graph, instance.capacities, epsilon, workspace=workspace
+        instance.graph, instance.capacities, epsilon, workspace=workspace,
+        initial_exponents=initial_exponents,
     )
     trace: Optional[RoundTrace] = None
     if record_trace:

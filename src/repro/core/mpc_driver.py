@@ -98,6 +98,9 @@ class MPCResult:
     guarantee: Optional[float]
     epsilon: float
     meta: dict[str, Any] = field(default_factory=dict)
+    # Converged β exponent vector — the warm-start state a resident
+    # AllocationSession retains between solves (DESIGN.md §8).
+    final_exponents: Optional[np.ndarray] = None
 
 
 def _phase_round_schedule(block: int) -> dict[str, int]:
@@ -400,6 +403,7 @@ def solve_allocation_mpc(
     certificate_cadence: Literal["per_phase", "per_guess"] = "per_phase",
     workspace: Optional[RoundWorkspace] = None,
     substrate: Optional[str] = None,
+    initial_exponents: Optional[np.ndarray] = None,
 ) -> MPCResult:
     """Theorem 3: (2+O(ε))-approximate fractional allocation in MPC.
 
@@ -427,6 +431,13 @@ def solve_allocation_mpc(
     ``REPRO_MPC_SUBSTRATE``.  Both substrates produce identical round
     ledgers and bit-identical allocations (the parity suite); columnar
     is the scale path for faithful runs.
+
+    ``initial_exponents`` warm-starts the dynamics from a retained β
+    exponent vector instead of the cold ``b ≡ 0`` (DESIGN.md §8): the
+    dynamics converge from any start and the λ-free certificate is
+    sound at any round, so every guess runs from the given vector and
+    the usual certificate gates termination.  The converged vector is
+    returned as ``final_exponents`` for the next warm solve.
     """
     epsilon = check_fraction(epsilon, "epsilon", inclusive_high=0.25)
     if not (0.0 < alpha < 1.0):
@@ -459,6 +470,7 @@ def solve_allocation_mpc(
             seed=seed,
             record_estimates=False,
             workspace=workspace,
+            initial_exponents=initial_exponents,
         )
         cluster: Optional[MPCCluster | ColumnarCluster] = None
         if mode == "faithful":
@@ -526,5 +538,7 @@ def solve_allocation_mpc(
             "sample_budget": run.sample_budget,
             "block": run.block,
             "substrate": _active_substrate(substrate) if mode == "faithful" else None,
+            "warm_start": initial_exponents is not None,
         },
+        final_exponents=run.beta_exp.copy(),
     )

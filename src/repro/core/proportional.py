@@ -43,6 +43,11 @@ __all__ = [
     "ProportionalRun",
     "compute_x_alloc",
     "match_weight_from_alloc",
+    "validate_initial_exponents",
+    "init_exponent_state",
+    "level_indices_from",
+    "top_level_mask_from",
+    "bottom_level_mask_from",
 ]
 
 ThresholdValue = Union[float, np.ndarray]
@@ -119,6 +124,74 @@ def match_weight_from_alloc(capacities: np.ndarray, alloc: np.ndarray) -> float:
     return float(np.minimum(capacities, alloc).sum())
 
 
+def validate_initial_exponents(
+    graph: BipartiteGraph, initial_exponents: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    """Normalize a warm-start exponent vector (DESIGN.md §8).
+
+    ``None`` means the paper's cold start (``b ≡ 0``).  Otherwise the
+    vector must hold one integer exponent per right vertex; a frozen
+    int64 copy is returned so runs can keep it as their level-set base
+    without aliasing caller state.
+    """
+    if initial_exponents is None:
+        return None
+    base = np.asarray(initial_exponents)
+    if base.shape != (graph.n_right,):
+        raise ValueError(
+            f"initial_exponents must have shape ({graph.n_right},), "
+            f"got {base.shape}"
+        )
+    if not np.issubdtype(base.dtype, np.integer):
+        raise TypeError(
+            "initial_exponents must be integer β exponents, got dtype "
+            f"{base.dtype}"
+        )
+    base = base.astype(np.int64, copy=True)
+    base.setflags(write=False)
+    return base
+
+
+def init_exponent_state(
+    graph: BipartiteGraph, initial_exponents: Optional[np.ndarray]
+) -> tuple[Optional[np.ndarray], np.ndarray]:
+    """``(base, beta_exp)`` starting state shared by the run classes:
+    cold start gives ``(None, zeros)``, a warm start gives the frozen
+    base plus a mutable working copy."""
+    base = validate_initial_exponents(graph, initial_exponents)
+    if base is None:
+        return None, np.zeros(graph.n_right, dtype=np.int64)
+    return base, base.copy()
+
+
+def level_indices_from(
+    beta_exp: np.ndarray, base: Optional[np.ndarray], rounds: int
+) -> np.ndarray:
+    """Level index ``j ∈ [0, 2r]`` per right vertex, measured relative
+    to the run's base vector (§4; DESIGN.md §8 for warm starts)."""
+    if base is None:
+        return beta_exp + rounds
+    return beta_exp - base + rounds
+
+
+def top_level_mask_from(
+    beta_exp: np.ndarray, base: Optional[np.ndarray], rounds: int
+) -> np.ndarray:
+    """``L_{2r}`` membership: β rose every round of this run."""
+    if base is None:
+        return beta_exp == rounds
+    return beta_exp == base + rounds
+
+
+def bottom_level_mask_from(
+    beta_exp: np.ndarray, base: Optional[np.ndarray], rounds: int
+) -> np.ndarray:
+    """``L_0`` membership: β fell every round of this run."""
+    if base is None:
+        return beta_exp == -rounds
+    return beta_exp == base - rounds
+
+
 class ProportionalRun:
     """A mutable execution of Algorithm 1/3 on one instance.
 
@@ -143,6 +216,7 @@ class ProportionalRun:
         *,
         thresholds: Optional[ThresholdSchedule] = None,
         workspace: Optional[RoundWorkspace] = None,
+        initial_exponents: Optional[np.ndarray] = None,
     ):
         self.graph = graph
         self.capacities = validate_capacities(graph, capacities).astype(np.float64)
@@ -150,7 +224,9 @@ class ProportionalRun:
         self.log1p_eps = float(np.log1p(self.epsilon))
         self.schedule: ThresholdSchedule = thresholds or ConstantThresholds(1.0)
         self.workspace = resolve_workspace(graph, workspace)
-        self.beta_exp = np.zeros(graph.n_right, dtype=np.int64)
+        self.base_exponents, self.beta_exp = init_exponent_state(
+            graph, initial_exponents
+        )
         self.rounds_completed = 0
         self.x_slots: Optional[np.ndarray] = None
         self.alloc: Optional[np.ndarray] = None
@@ -228,8 +304,16 @@ class ProportionalRun:
 
     def level_indices(self) -> np.ndarray:
         """Level index ``j ∈ [0, 2r]`` of every right vertex, where
-        ``L_j = {v : β_v = (1+ε)^{j−r}}`` (§4)."""
-        return self.beta_exp + self.rounds_completed
+        ``L_j = {v : β_v = (1+ε)^{j−r}}`` (§4).
+
+        Warm-started runs (``initial_exponents``) measure levels
+        relative to their starting vector: the §4 level sets track how
+        a priority moved over *this* run's rounds, so the base shifts
+        out (DESIGN.md §8).
+        """
+        return level_indices_from(
+            self.beta_exp, self.base_exponents, self.rounds_completed
+        )
 
     def level_histogram(self) -> np.ndarray:
         """``|L_j|`` for ``j = 0..2r``."""
@@ -237,11 +321,15 @@ class ProportionalRun:
 
     def top_level_mask(self) -> np.ndarray:
         """Membership mask of ``L_{2r}`` (β increased every round)."""
-        return self.beta_exp == self.rounds_completed
+        return top_level_mask_from(
+            self.beta_exp, self.base_exponents, self.rounds_completed
+        )
 
     def bottom_level_mask(self) -> np.ndarray:
         """Membership mask of ``L_0`` (β decreased every round)."""
-        return self.beta_exp == -self.rounds_completed
+        return bottom_level_mask_from(
+            self.beta_exp, self.base_exponents, self.rounds_completed
+        )
 
     def snapshot(self) -> dict:
         """Cheap state dump for traces and cross-implementation tests."""

@@ -43,7 +43,14 @@ import numpy as np
 
 from repro.core import params
 from repro.core.fractional import FractionalAllocation
-from repro.core.proportional import compute_x_alloc, match_weight_from_alloc
+from repro.core.proportional import (
+    bottom_level_mask_from,
+    compute_x_alloc,
+    init_exponent_state,
+    level_indices_from,
+    match_weight_from_alloc,
+    top_level_mask_from,
+)
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.capacities import validate_capacities
 from repro.kernels import RoundWorkspace, get_backend, resolve_workspace
@@ -261,6 +268,7 @@ class SampledRun:
         seed=None,
         record_estimates: bool = True,
         workspace: Optional[RoundWorkspace] = None,
+        initial_exponents: Optional[np.ndarray] = None,
     ):
         self.graph = graph
         self.workspace = resolve_workspace(graph, workspace)
@@ -283,7 +291,9 @@ class SampledRun:
         self.record_estimates = record_estimates
 
         self.log1p_eps = float(np.log1p(self.epsilon))
-        self.beta_exp = np.zeros(graph.n_right, dtype=np.int64)
+        self.base_exponents, self.beta_exp = init_exponent_state(
+            graph, initial_exponents
+        )
         self.rounds_completed = 0
         self.phases_completed = 0
         self.x_slots: Optional[np.ndarray] = None
@@ -462,10 +472,16 @@ class SampledRun:
         return raw.scaled_into_feasibility(self.graph, self.capacities)
 
     def level_indices(self) -> np.ndarray:
-        return self.beta_exp + self.rounds_completed
+        return level_indices_from(
+            self.beta_exp, self.base_exponents, self.rounds_completed
+        )
 
     def top_level_mask(self) -> np.ndarray:
-        return self.beta_exp == self.rounds_completed
+        return top_level_mask_from(
+            self.beta_exp, self.base_exponents, self.rounds_completed
+        )
 
     def bottom_level_mask(self) -> np.ndarray:
-        return self.beta_exp == -self.rounds_completed
+        return bottom_level_mask_from(
+            self.beta_exp, self.base_exponents, self.rounds_completed
+        )

@@ -23,9 +23,9 @@ from repro.experiments.harness import (
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Run the theorem-driven experiment suite (E1-E11).",
+        description="Run the theorem-driven experiment suite (e0-e12).",
     )
-    parser.add_argument("experiment", help="experiment id (e1..e11), 'all', or 'list'")
+    parser.add_argument("experiment", help="experiment id (e0..e12), 'all', or 'list'")
     parser.add_argument("--scale", choices=["smoke", "normal", "full"], default="normal")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)

@@ -1,7 +1,10 @@
 """Experiment harness: registry, scales, result persistence.
 
 Every experiment module exposes ``run(scale, seed) -> Table`` and
-registers itself under its id (``e1`` … ``e11``).  Three scales:
+registers itself under its id (``e0`` … ``e12``; the full id set is
+pinned by ``EXPECTED_EXPERIMENT_IDS`` and asserted against the
+registry whenever the modules are loaded, so the registry and the
+module list cannot silently drift apart).  Three scales:
 
 * ``smoke`` — seconds; used by the test suite to keep every experiment
   permanently runnable;
@@ -25,6 +28,7 @@ from repro.utils.tables import Table
 __all__ = [
     "Scale",
     "ExperimentSpec",
+    "EXPECTED_EXPERIMENT_IDS",
     "REGISTRY",
     "register",
     "get_experiment",
@@ -50,6 +54,11 @@ _EXPERIMENT_MODULES = [
     "repro.experiments.exp_levelset_dynamics",
     "repro.experiments.exp_bmatching",
 ]
+
+# One id per module above.  _ensure_loaded() asserts the registry
+# matches exactly, so adding an experiment module without its id here
+# (or vice versa) fails at first use instead of silently drifting.
+EXPECTED_EXPERIMENT_IDS = tuple(f"e{i}" for i in range(len(_EXPERIMENT_MODULES)))
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,13 @@ def register(exp_id: str, title: str, claim: str):
 def _ensure_loaded() -> None:
     for module in _EXPERIMENT_MODULES:
         importlib.import_module(module)
+    if set(REGISTRY) != set(EXPECTED_EXPERIMENT_IDS):
+        missing = sorted(set(EXPECTED_EXPERIMENT_IDS) - set(REGISTRY))
+        extra = sorted(set(REGISTRY) - set(EXPECTED_EXPERIMENT_IDS))
+        raise ImportError(
+            "experiment registry drifted from _EXPERIMENT_MODULES: "
+            f"missing ids {missing}, unexpected ids {extra}"
+        )
 
 
 def get_experiment(exp_id: str) -> ExperimentSpec:

@@ -22,6 +22,7 @@ __all__ = [
     "degree_proportional_capacities",
     "zipf_capacities",
     "validate_capacities",
+    "validate_integral_allocation",
     "total_capacity",
 ]
 
@@ -40,6 +41,36 @@ def validate_capacities(graph: BipartiteGraph, capacities: np.ndarray) -> np.nda
     if caps.size and caps.min() < 1:
         raise ValueError("capacities must be >= 1 everywhere")
     return caps
+
+
+def validate_integral_allocation(
+    graph: BipartiteGraph, capacities: np.ndarray, edge_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Check ``edge_mask`` is a feasible integral allocation (Def. 5).
+
+    The one check every integral consumer shares (repair, metrics, the
+    serving layer's warm-path validation).  Returns ``(caps, mask,
+    left_used, right_used)`` — the validated capacities, the bool mask,
+    and the per-side load vectors the caller usually needs next — or
+    raises ``ValueError``.
+    """
+    caps = validate_capacities(graph, capacities)
+    mask = np.asarray(edge_mask, dtype=bool)
+    if mask.shape != (graph.n_edges,):
+        raise ValueError(
+            f"edge_mask must have shape ({graph.n_edges},), got {mask.shape}"
+        )
+    left_used = np.bincount(graph.edge_u[mask], minlength=graph.n_left)
+    right_used = np.bincount(graph.edge_v[mask], minlength=graph.n_right)
+    if np.any(left_used > 1):
+        raise ValueError(
+            "edge_mask is not a feasible allocation: a left vertex has degree > 1"
+        )
+    if np.any(right_used > caps):
+        raise ValueError(
+            "edge_mask is not a feasible allocation: a right capacity is exceeded"
+        )
+    return caps, mask, left_used, right_used
 
 
 def total_capacity(capacities: np.ndarray) -> int:

@@ -14,8 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.capacities import validate_capacities
-from repro.kernels import scatter_add
+from repro.graphs.capacities import validate_integral_allocation
 from repro.utils.rng import as_generator
 
 __all__ = ["greedy_fill"]
@@ -34,12 +33,10 @@ def greedy_fill(
     Scans non-selected edges (random or canonical order) and adds each
     one that fits.  Returns a new mask; the input is not modified.
     """
-    caps = validate_capacities(graph, capacities)
-    mask = np.asarray(edge_mask, dtype=bool).copy()
-    left_used = scatter_add(graph.edge_u[mask], minlength=graph.n_left)
-    right_used = scatter_add(graph.edge_v[mask], minlength=graph.n_right)
-    if np.any(left_used > 1) or np.any(right_used > caps):
-        raise ValueError("input mask is not a feasible allocation")
+    caps, mask, left_used, right_used = validate_integral_allocation(
+        graph, capacities, edge_mask
+    )
+    mask = mask.copy()
 
     candidates = np.nonzero(~mask)[0]
     if order == "random":

@@ -1,0 +1,38 @@
+"""repro.serve — the heavy-traffic serving layer (DESIGN.md §8).
+
+One resident graph answering many solve requests is the common serving
+shape; this package turns the cold single-call pipeline into that
+shape:
+
+* :class:`SolveRequest` — a declarative request: ε / capacity / seed /
+  stage overrides against a session's defaults.
+* :class:`AllocationSession` — a resident solver per graph: cached
+  :class:`~repro.kernels.RoundWorkspace`, per-graph invariants, and
+  the last converged β exponent vector for warm-started solves.
+* :func:`solve_batch` — thread-parallel batch execution across
+  sessions with the seed-per-position determinism contract.
+
+Cold solves stay bit-identical to
+:func:`repro.core.pipeline.solve_allocation`; warm solves pass the
+same certificate and feasibility validation.  The stage layer the
+sessions run on lives in :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from repro.serve.batch import solve_batch, solve_stream
+from repro.serve.session import (
+    AllocationSession,
+    SessionStats,
+    SolveRequest,
+    check_integral_feasible,
+)
+
+__all__ = [
+    "AllocationSession",
+    "SessionStats",
+    "SolveRequest",
+    "check_integral_feasible",
+    "solve_batch",
+    "solve_stream",
+]

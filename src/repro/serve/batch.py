@@ -1,0 +1,149 @@
+"""Thread-parallel batch execution over resident sessions (DESIGN.md §8).
+
+``solve_batch`` runs a list of :class:`~repro.serve.SolveRequest`
+objects across one or more :class:`~repro.serve.AllocationSession`
+instances on a thread pool.  NumPy kernels release the GIL, so the
+heavy per-request work (round kernels, sorting, sampling) genuinely
+overlaps; the per-graph workspaces are thread-safe by construction
+(immutable invariants + thread-local scratch, DESIGN.md §6.4).
+
+Batch determinism rule (the ``solve_allocation_many`` contract,
+extended):
+
+* Seeds are spawned per batch *position*: request ``i`` with
+  ``seed=None`` receives ``spawn(seed, n)[i]``; an explicit per-request
+  seed wins.  Results therefore depend on the request order, never on
+  thread scheduling.
+* Warm starts are taken from a *snapshot* of each session's exponents
+  at batch entry, so every request in the batch warm-starts from the
+  same state regardless of completion order.
+* Each session's warm state is committed once, after the batch, from
+  the highest-position request that targeted it — again a pure
+  function of the request list.
+
+Consequently ``solve_batch(sessions, requests, seed=s)`` is
+bit-identical to the serial loop over ``solve_detached`` with the same
+spawned seeds — a property the test suite asserts with
+``max_workers=1`` vs ``max_workers=4``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Optional, Sequence, Union
+
+from repro.core.pipeline import PipelineResult
+from repro.serve.session import AllocationSession, SolveRequest
+from repro.utils.rng import spawn
+
+__all__ = ["solve_batch", "solve_stream"]
+
+SessionsLike = Union[AllocationSession, Sequence[AllocationSession]]
+
+
+def _resolve_sessions(
+    sessions: SessionsLike, n_requests: int
+) -> list[AllocationSession]:
+    if isinstance(sessions, AllocationSession):
+        return [sessions] * n_requests
+    sessions = list(sessions)
+    if len(sessions) != n_requests:
+        raise ValueError(
+            f"got {len(sessions)} sessions for {n_requests} requests; pass one "
+            "session (shared) or exactly one per request"
+        )
+    return sessions
+
+
+def solve_batch(
+    sessions: SessionsLike,
+    requests: Sequence[SolveRequest],
+    *,
+    seed=None,
+    max_workers: Optional[int] = None,
+    commit: bool = True,
+) -> list[PipelineResult]:
+    """Solve ``requests`` thread-parallel across sessions.
+
+    ``sessions`` is either one session shared by every request (the
+    one-resident-graph serving shape) or a sequence aligned with
+    ``requests`` (multi-tenant: each request names its session; the
+    same session object may appear many times).  Results are returned
+    in request order.  See the module docstring for the determinism
+    rule; ``commit=False`` leaves every session's warm state untouched
+    (a read-only batch).
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    per_request = _resolve_sessions(sessions, len(requests))
+    streams = spawn(seed, len(requests))
+
+    # Snapshot warm bases once, per distinct session, at batch entry.
+    snapshots: dict[int, object] = {}
+    for session in per_request:
+        key = id(session)
+        if key not in snapshots:
+            snapshots[key] = session.exponents_snapshot()
+
+    def run_one(i: int) -> PipelineResult:
+        session = per_request[i]
+        request = requests[i]
+        if request.seed is None:
+            request = replace(request, seed=streams[i])
+        initial = snapshots[id(session)] if request.warm else None
+        return session.solve_detached(request, initial_exponents=initial)
+
+    if max_workers is None:
+        max_workers = min(len(requests), max(1, (os.cpu_count() or 2) - 1))
+    if max_workers <= 1:
+        results = [run_one(i) for i in range(len(requests))]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(run_one, range(len(requests))))
+
+    if commit:
+        # Highest-position request per session commits its exponents —
+        # deterministic in the request list, independent of scheduling.
+        last_by_session: dict[int, tuple[AllocationSession, int]] = {}
+        for i, session in enumerate(per_request):
+            last_by_session[id(session)] = (session, i)
+        for session, i in last_by_session.values():
+            session.commit(results[i])
+    return results
+
+
+def solve_stream(
+    session: AllocationSession,
+    requests: Sequence[SolveRequest],
+    *,
+    seed=None,
+    max_workers: Optional[int] = None,
+) -> list[PipelineResult]:
+    """Serve a request stream on one session: prime, then batch warm.
+
+    The common CLI/benchmark shape for a *fresh* session: the stream's
+    first request runs serially through :meth:`AllocationSession.solve`
+    (establishing the warm state a fresh session lacks — a plain
+    :func:`solve_batch` would snapshot ``None`` and run everything
+    cold), and the remainder runs through :func:`solve_batch`
+    warm-started from it.  Seeds follow the batch determinism rule
+    over the *whole* stream: request ``i`` with no explicit seed
+    receives ``spawn(seed, n)[i]``.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    streams = spawn(seed, len(requests))
+    first = requests[0]
+    if first.seed is None:
+        first = replace(first, seed=streams[0])
+    results = [session.solve(first)]
+    rest = [
+        req if req.seed is not None else replace(req, seed=stream)
+        for req, stream in zip(requests[1:], streams[1:])
+    ]
+    results.extend(solve_batch(session, rest, max_workers=max_workers))
+    return results

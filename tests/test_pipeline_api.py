@@ -1,17 +1,15 @@
-"""Tests for the single-call pipeline API and the CLI."""
+"""Tests for the single-call pipeline API (the CLI suite lives in
+``tests/test_cli.py``; the stage layer and serving tests in
+``tests/test_serve.py``)."""
 
 from __future__ import annotations
-
-import json
 
 import numpy as np
 import pytest
 
 from repro.baselines.exact import optimum_value
-from repro.cli import main as cli_main
 from repro.core.pipeline import solve_allocation, solve_allocation_many
 from repro.graphs.generators import union_of_forests
-from repro.graphs.io import save_instance
 from repro.kernels import workspace_for
 
 from tests.conftest import assert_feasible_integral
@@ -108,41 +106,3 @@ def test_solve_allocation_many_rejects_workspace_kwarg(small_forest_instance):
             [small_forest_instance], 0.2, seed=0,
             workspace=workspace_for(small_forest_instance.graph),
         )
-
-
-# ----------------------------------------------------------------------
-# CLI
-# ----------------------------------------------------------------------
-
-def test_cli_generate_writes_instance(tmp_path, capsys):
-    path = tmp_path / "inst.json"
-    assert cli_main([
-        "generate", "union_of_forests", "--out", str(path),
-        "--n-left", "30", "--n-right", "24", "--k", "2", "--seed", "3",
-    ]) == 0
-    assert path.exists()
-    assert "forests(k=2)" in capsys.readouterr().out
-
-
-def test_cli_info_fields(tmp_path, capsys):
-    inst = union_of_forests(20, 16, 2, seed=0)
-    path = tmp_path / "i.json"
-    save_instance(inst, path)
-    assert cli_main(["info", str(path)]) == 0
-    out = json.loads(capsys.readouterr().out)
-    assert out["n_left"] == 20
-    assert out["degeneracy"] >= 1
-
-
-def test_cli_solve_with_opt(tmp_path, capsys):
-    inst = union_of_forests(25, 20, 2, capacity=2, seed=1)
-    path = tmp_path / "i.json"
-    save_instance(inst, path)
-    assert cli_main(["solve", str(path), "--epsilon", "0.2", "--with-opt"]) == 0
-    out = json.loads(capsys.readouterr().out)
-    assert out["result"]["final_size"] >= 1
-    assert out["result"]["ratio"] >= 1.0
-
-
-def test_cli_generate_unknown_family(tmp_path, capsys):
-    assert cli_main(["generate", "nope", "--out", str(tmp_path / "x.json")]) == 2
