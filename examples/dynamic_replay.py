@@ -1,0 +1,55 @@
+"""Dynamic serving: replay a diurnal capacity wave over a resident session.
+
+Builds the paper's `slow_spread` stress instance (where cold
+convergence genuinely costs Θ(log λ) rounds), primes a
+:class:`repro.dynamic.DynamicSession` with one cold solve, then
+replays a generated diurnal-wave delta stream — every step applies a
+capacity delta and re-solves *warm* from the retained converged
+exponents, asserting the same λ-free certificate and Definition-5
+feasibility as a cold solve.
+
+Run:  PYTHONPATH=src python examples/dynamic_replay.py
+"""
+
+from __future__ import annotations
+
+from repro.dynamic import DynamicSession, diurnal_wave
+from repro.graphs.generators import slow_spread_instance
+from repro.serve import replay_stream
+
+
+def main() -> None:
+    # The Theorem-9 Case-2 family; double the capacity profile so the
+    # wave has room to move (unit capacities all round back to 1).
+    raw = slow_spread_instance(10, width=8)
+    instance = raw.with_capacities(raw.capacities * 2, suffix="x2")
+    print(f"instance: {instance.name}  "
+          f"(|L|={instance.n_left}, |R|={instance.n_right}, m={instance.n_edges})")
+
+    # One resident dynamic session; the first solve runs cold and
+    # establishes the warm state every later re-solve starts from.
+    dynamic = DynamicSession(instance, epsilon=0.1, boost=False)
+    prime = dynamic.resolve(seed=0)
+    print(f"prime (cold) rounds            : {prime.mpc.local_rounds}")
+
+    # A reproducible 12-step diurnal wave: every server's demand
+    # follows a sinusoid of the base profile with per-server jitter.
+    deltas = diurnal_wave(instance, steps=12, amplitude=0.4, period=8, seed=7)
+    steps = replay_stream(dynamic, deltas, seed=1)
+
+    for step in steps:
+        print(f"step {step.index:2d}: {step.delta_kind:<14} "
+              f"warm={str(step.warm_start):<5} rounds={step.local_rounds:2d} "
+              f"size={step.size}")
+
+    stats = dynamic.stats
+    warm_rounds = [s.local_rounds for s in steps]
+    print(f"warm re-solves                 : {stats.warm_resolves}")
+    print(f"rounds per warm re-solve       : {warm_rounds} "
+          f"(vs {prime.mpc.local_rounds} cold)")
+    assert all(s.certified for s in steps)
+    print("every re-solve certified (λ-free) and Definition-5 feasible")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,9 @@ Usage::
 
     python -m repro.cli solve instance.json [--epsilon 0.2] [--seed 0]
     python -m repro.cli batch requests.jsonl --instance instance.json
+    python -m repro.cli dynamic deltas.jsonl --instance instance.json
+    python -m repro.cli dynamic --scenario diurnal_wave --steps 12 \\
+        --instance instance.json
     python -m repro.cli generate forests --out instance.json \\
         --n-left 200 --n-right 150 --k 3
     python -m repro.cli info instance.json
@@ -12,11 +15,15 @@ Usage::
 repair → App.-B boosting) and prints the audit summary; ``batch``
 serves a JSONL request file through a resident
 :class:`~repro.serve.AllocationSession` (warm-started solves, optional
-thread parallelism — DESIGN.md §8); ``generate`` materializes a
-benchmark-family instance to the JSON format (:mod:`repro.graphs.io`);
-``info`` prints instance statistics including the measured degeneracy.
+thread parallelism — DESIGN.md §8); ``dynamic`` replays an instance
+delta stream — one JSON delta per line, or a generated scenario
+(``--scenario``) — through a :class:`~repro.dynamic.DynamicSession`
+with warm incremental re-solves (DESIGN.md §9), printing one audit row
+per step; ``generate`` materializes a benchmark-family instance to the
+JSON format (:mod:`repro.graphs.io`); ``info`` prints instance
+statistics including the measured degeneracy.
 
-``solve`` and ``batch`` accept ``--backend`` (kernel backend,
+``solve``, ``batch`` and ``dynamic`` accept ``--backend`` (kernel backend,
 DESIGN.md §6) and ``--substrate`` (faithful-mode MPC substrate,
 DESIGN.md §7), mapping onto the ``set_backend`` / ``set_substrate``
 registries — equivalent to the ``REPRO_KERNEL_BACKEND`` /
@@ -170,6 +177,89 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.dynamic import SCENARIOS, DynamicSession, delta_from_json
+    from repro.serve import replay_stream
+
+    if not _apply_engine_flags(args):
+        return 2
+    if (args.deltas is None) == (args.scenario is None):
+        print(
+            "pass a deltas.jsonl file or --scenario, not both/neither",
+            file=sys.stderr,
+        )
+        return 2
+    instance = _load_instance_checked(args.instance)
+    if instance is None:
+        return 2
+    try:
+        dynamic = DynamicSession(
+            instance, epsilon=args.epsilon, boost=not args.no_boost
+        )
+    except ValueError as exc:
+        # e.g. a bad --epsilon — a flag problem, not a stream problem
+        print(f"invalid session configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        builder = SCENARIOS.get(args.scenario)
+        if builder is None:
+            print(
+                f"unknown scenario {args.scenario!r}; "
+                f"available: {sorted(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            deltas = builder(instance, args.steps, seed=args.seed)
+        except ValueError as exc:
+            # e.g. flash_crowd on an instance with no servers
+            print(
+                f"cannot generate scenario {args.scenario!r} for this "
+                f"instance: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        try:
+            with open(args.deltas, encoding="utf-8") as f:
+                numbered = [
+                    (lineno, line)
+                    for lineno, line in enumerate(f, start=1)
+                    if line.strip()
+                ]
+        except OSError as exc:
+            print(f"cannot read delta file: {args.deltas} ({exc})", file=sys.stderr)
+            return 2
+        deltas = []
+        for lineno, line in numbered:
+            try:
+                deltas.append(delta_from_json(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                print(
+                    f"malformed delta on line {lineno} of {args.deltas}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+    try:
+        # Prime: the initial cold solve that establishes the warm state
+        # every subsequent incremental re-solve starts from.
+        prime = dynamic.resolve(seed=args.seed)
+        steps = replay_stream(dynamic, deltas, seed=args.seed)
+    except ValueError as exc:
+        # e.g. a delta naming a vertex outside the instance
+        print(f"invalid delta stream for this instance: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps({"step": "prime", "local_rounds": prime.mpc.local_rounds,
+                      "final_size": prime.size}))
+    for step in steps:
+        print(json.dumps(step.as_row()))
+    print(
+        json.dumps({"dynamic_stats": dynamic.stats.as_dict()}),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     builder = FAMILY_BUILDERS.get(args.family)
     if builder is None:
@@ -261,6 +351,35 @@ def main(argv: list[str] | None = None) -> int:
                          help="thread pool size (default: cpu-based)")
     _add_engine_flags(p_batch)
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_dyn = sub.add_parser(
+        "dynamic",
+        help="replay an instance-delta stream with warm incremental re-solves",
+    )
+    p_dyn.add_argument(
+        "deltas", nargs="?", default=None,
+        help="JSONL file: one delta object per line "
+             '(e.g. {"type": "capacity_scale", "factor": 1.5}); '
+             "omit when using --scenario",
+    )
+    p_dyn.add_argument(
+        "--instance", required=True, help="initial instance JSON file"
+    )
+    p_dyn.add_argument(
+        "--scenario", default=None,
+        help="generate the stream instead of reading one "
+             "(diurnal_wave|flash_crowd|rolling_maintenance|adversarial_churn)",
+    )
+    p_dyn.add_argument("--steps", type=int, default=12,
+                       help="scenario length (with --scenario)")
+    p_dyn.add_argument("--epsilon", type=float, default=0.2,
+                       help="session default epsilon")
+    p_dyn.add_argument("--seed", type=int, default=0,
+                       help="prime/replay seed (per-position streams)")
+    p_dyn.add_argument("--no-boost", action="store_true",
+                       help="session default: skip boosting")
+    _add_engine_flags(p_dyn)
+    p_dyn.set_defaults(fn=_cmd_dynamic)
 
     p_gen = sub.add_parser("generate", help="write a benchmark-family instance")
     p_gen.add_argument("family", help=f"one of {sorted(FAMILY_BUILDERS)}")

@@ -15,6 +15,14 @@ Layout:
   20 and the λ-oblivious variant).
 * :mod:`repro.core.sampled` — Algorithm 2 (sampled phases).
 * :mod:`repro.core.mpc_driver` — the full MPC algorithm (Theorem 3).
+* :mod:`repro.core.pipeline` — the end-to-end Theorem 1/3 pipeline as
+  composable stages (:func:`solve_allocation` and the stage objects
+  the serving layer recombines).
+
+The fractional drivers and the pipeline all accept ``workspace`` (the
+cached per-graph kernel invariants, DESIGN.md §6) and
+``initial_exponents`` (a retained β vector to warm-start the dynamics
+from — the resident-session path, DESIGN.md §8).
 """
 
 from repro.core.fractional import FractionalAllocation, FeasibilityReport

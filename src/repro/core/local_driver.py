@@ -14,6 +14,11 @@ Three drivers, one per theorem:
 Each returns a :class:`LocalRunResult` with the scaled (feasible)
 fractional allocation, the round count (the quantity the paper's
 bounds speak about), and the certified approximation factor.
+
+All three accept ``initial_exponents`` to warm-start the dynamics
+from a retained β vector (DESIGN.md §8): levels and certificates are
+then measured relative to that base, and ``rounds`` counts only the
+incremental run.
 """
 
 from __future__ import annotations

@@ -24,6 +24,15 @@ Two execution modes (DESIGN.md §5):
   Space budgets (``S = O(n^α)`` words) are enforced; the numeric
   trajectory is produced by the same keyed sampler, so the two modes
   return bit-identical allocations for one seed.
+
+Warm starts (DESIGN.md §8/§9): the driver accepts an
+``initial_exponents`` β vector and starts every guess's dynamics from
+it instead of the cold ``b ≡ 0`` — sound because the dynamics converge
+from any integer start and the λ-free certificate gates termination
+regardless.  The converged vector comes back as
+:attr:`MPCResult.final_exponents`, which is the state a resident
+:class:`~repro.serve.AllocationSession` retains between solves and the
+dynamic layer remaps across instance deltas.
 """
 
 from __future__ import annotations
@@ -87,7 +96,17 @@ class MPCRoundLedger:
 
 @dataclass(frozen=True)
 class MPCResult:
-    """Outcome of the MPC driver."""
+    """Outcome of the MPC driver.
+
+    Beyond the fractional allocation and its certificate, the result
+    carries the two quantities the serving layers consume:
+    ``meta["warm_start"]`` records whether the solve started from a
+    retained β vector, and ``final_exponents`` is the converged vector
+    itself — the warm base for the *next* solve (bit-equal to the
+    run's ``beta_exp`` at termination; ``local_rounds`` counts only
+    this run's rounds, so a warm re-solve reports the small
+    incremental count, not the history behind its starting vector).
+    """
 
     allocation: FractionalAllocation
     match_weight: float

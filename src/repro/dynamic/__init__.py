@@ -1,0 +1,68 @@
+"""repro.dynamic — delta-driven dynamic instances (DESIGN.md §9).
+
+The static pipeline solves one frozen instance; this package serves an
+instance that *changes*: a typed delta algebra with validated
+application and surviving-role mappings (:mod:`repro.dynamic.deltas`),
+a :class:`DynamicSession` that carries the kernel workspace and the
+retained converged exponents across deltas so every re-solve
+warm-starts (:mod:`repro.dynamic.session`), and a suite of
+reproducible scenario generators — diurnal capacity waves, flash
+crowds, rolling maintenance drains, adversarial churn — on the keyed
+rng slot contract (:mod:`repro.dynamic.scenarios`).
+
+Stream replay (apply + re-solve per delta, with per-position seeds)
+lives in :func:`repro.serve.replay_stream`.
+"""
+
+from __future__ import annotations
+
+from repro.dynamic.deltas import (
+    CapacityScale,
+    ClientArrival,
+    ClientDeparture,
+    Compound,
+    DeltaOutcome,
+    DemandChange,
+    EdgeAdd,
+    EdgeRemove,
+    InstanceDelta,
+    ServerArrival,
+    ServerDeparture,
+    apply_delta,
+    delta_from_json,
+    delta_to_json,
+    remap_exponents,
+)
+from repro.dynamic.scenarios import (
+    SCENARIOS,
+    adversarial_churn,
+    diurnal_wave,
+    flash_crowd,
+    rolling_maintenance,
+)
+from repro.dynamic.session import DynamicSession, DynamicStats
+
+__all__ = [
+    "InstanceDelta",
+    "CapacityScale",
+    "DemandChange",
+    "ClientArrival",
+    "ClientDeparture",
+    "ServerArrival",
+    "ServerDeparture",
+    "EdgeAdd",
+    "EdgeRemove",
+    "Compound",
+    "DeltaOutcome",
+    "apply_delta",
+    "remap_exponents",
+    "delta_to_json",
+    "delta_from_json",
+    "DynamicSession",
+    "DynamicStats",
+    "diurnal_wave",
+    "flash_crowd",
+    "rolling_maintenance",
+    "adversarial_churn",
+    "SCENARIOS",
+]

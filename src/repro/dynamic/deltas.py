@@ -1,0 +1,809 @@
+"""The typed instance-delta algebra (DESIGN.md §9).
+
+A dynamic workload is a stream of small mutations against a resident
+:class:`~repro.graphs.instances.AllocationInstance`: server capacities
+drift, clients arrive and depart, edges churn.  Each mutation is a
+frozen :class:`InstanceDelta` value, and :func:`apply_delta` turns
+``(instance, delta)`` into a :class:`DeltaOutcome`: a *valid* new
+instance plus the role mapping that tells the serving layer which
+vertices survived — the contract the warm-start remap
+(:func:`remap_exponents`) is built on.
+
+Delta types
+-----------
+* :class:`CapacityScale` — multiply capacities (all or a subset) by a
+  factor, flooring at 1.  Capacity-only: the graph object is shared.
+* :class:`DemandChange` — set absolute capacities per server.  A value
+  of ``0`` *drains* the server: its incident edges are removed and its
+  capacity is pinned to 1 on the now-isolated vertex, so the instance
+  stays within Definition 5's ``C_v ≥ 1`` and the proportional rounds
+  never divide by zero.  Ids are preserved (a drain is not a removal).
+* :class:`ClientArrival` / :class:`ClientDeparture` — append left
+  vertices with explicit neighbor lists / remove left vertices (ids
+  compact; the mapping records survivors).
+* :class:`ServerArrival` / :class:`ServerDeparture` — the same for
+  right vertices, with per-server capacities on arrival.  Server
+  removal is the delta that makes the exponent remap non-trivial.
+* :class:`EdgeAdd` / :class:`EdgeRemove` — edge churn; additions must
+  not duplicate existing edges, removals must name existing edges.
+* :class:`Compound` — apply a tuple of deltas in sequence as one
+  stream event; the role maps compose.
+
+No-op detection: a delta that leaves the instance unchanged (empty
+argument lists, capacities set to their current values, scaling by a
+factor that rounds every capacity to itself) returns the *same
+instance object* with identity maps — the serving layer then re-solves
+warm with bit-identical state, which the test suite asserts.
+
+Validity rules: arboricity upper bounds survive monotone shrinking
+(removals, drains) because arboricity is subgraph-monotone; any delta
+that can add edges clears the bound to ``None`` (the λ-oblivious
+guessing loop takes over downstream).
+
+Every delta serializes to one JSON object (``{"type": ..., ...}``) via
+:func:`delta_to_json` / :func:`delta_from_json` — the JSONL stream
+format the ``repro dynamic`` CLI and the scenario generators share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.graphs.bipartite import build_graph
+from repro.graphs.instances import AllocationInstance
+
+__all__ = [
+    "InstanceDelta",
+    "CapacityScale",
+    "DemandChange",
+    "ClientArrival",
+    "ClientDeparture",
+    "ServerArrival",
+    "ServerDeparture",
+    "EdgeAdd",
+    "EdgeRemove",
+    "Compound",
+    "DeltaOutcome",
+    "apply_delta",
+    "remap_exponents",
+    "delta_to_json",
+    "delta_from_json",
+    "DELTA_TYPES",
+]
+
+
+def _int_tuple(values: Any, label: str) -> tuple[int, ...]:
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+            raise ValueError(f"{label} must contain integers, got {v!r}")
+        out.append(int(v))
+    return tuple(out)
+
+
+def _pair_tuple(values: Any, label: str) -> tuple[tuple[int, int], ...]:
+    out = []
+    for pair in values:
+        pair = _int_tuple(pair, label)
+        if len(pair) != 2:
+            raise ValueError(f"{label} entries must be (u, v) pairs, got {pair!r}")
+        out.append(pair)
+    return tuple(out)
+
+
+def _nested_tuple(values: Any, label: str) -> tuple[tuple[int, ...], ...]:
+    return tuple(_int_tuple(row, label) for row in values)
+
+
+@dataclass(frozen=True)
+class CapacityScale:
+    """Scale capacities by ``factor`` (all servers, or ``vertices``),
+    flooring at 1.  Rounding is ``np.rint`` (round half to even), so
+    the delta is a pure function of the current capacity vector."""
+
+    factor: float
+    vertices: Optional[tuple[int, ...]] = None
+    kind = "capacity_scale"
+
+    def __post_init__(self) -> None:
+        if not (float(self.factor) > 0.0):
+            raise ValueError(f"scale factor must be positive, got {self.factor}")
+        if self.vertices is not None:
+            object.__setattr__(
+                self, "vertices", _int_tuple(self.vertices, "vertices")
+            )
+
+
+@dataclass(frozen=True)
+class DemandChange:
+    """Set absolute capacities; ``0`` drains the server (see module
+    docstring)."""
+
+    updates: Mapping[int, int]
+    kind = "demand_change"
+
+    def __post_init__(self) -> None:
+        cleaned: dict[int, int] = {}
+        for k, v in dict(self.updates).items():
+            if isinstance(v, bool) or not isinstance(v, (int, np.integer)):
+                raise ValueError(
+                    f"demand updates must be integers, got {k!r}: {v!r}"
+                )
+            if int(v) < 0:
+                raise ValueError(
+                    f"demand updates must be >= 0 (0 drains), got {k!r}: {v!r}"
+                )
+            cleaned[int(k)] = int(v)
+        object.__setattr__(self, "updates", cleaned)
+
+
+@dataclass(frozen=True)
+class ClientArrival:
+    """Append one left vertex per neighbor list (right ids)."""
+
+    neighbors: tuple[tuple[int, ...], ...]
+    kind = "client_arrival"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "neighbors", _nested_tuple(self.neighbors, "neighbors")
+        )
+
+
+@dataclass(frozen=True)
+class ClientDeparture:
+    """Remove the named left vertices; remaining ids compact."""
+
+    clients: tuple[int, ...]
+    kind = "client_departure"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clients", _int_tuple(self.clients, "clients"))
+
+
+@dataclass(frozen=True)
+class ServerArrival:
+    """Append right vertices with capacities and left-neighbor lists."""
+
+    capacities: tuple[int, ...]
+    neighbors: tuple[tuple[int, ...], ...]
+    kind = "server_arrival"
+
+    def __post_init__(self) -> None:
+        caps = _int_tuple(self.capacities, "capacities")
+        if any(c < 1 for c in caps):
+            raise ValueError("arriving servers need capacity >= 1")
+        nbrs = _nested_tuple(self.neighbors, "neighbors")
+        if len(caps) != len(nbrs):
+            raise ValueError(
+                f"got {len(caps)} capacities for {len(nbrs)} neighbor lists"
+            )
+        object.__setattr__(self, "capacities", caps)
+        object.__setattr__(self, "neighbors", nbrs)
+
+
+@dataclass(frozen=True)
+class ServerDeparture:
+    """Remove the named right vertices; remaining ids compact — the
+    delta whose exponent remap is genuinely non-identity."""
+
+    servers: tuple[int, ...]
+    kind = "server_departure"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers", _int_tuple(self.servers, "servers"))
+
+
+@dataclass(frozen=True)
+class EdgeAdd:
+    """Add ``(u, v)`` edges; duplicates of existing edges are errors."""
+
+    edges: tuple[tuple[int, int], ...]
+    kind = "edge_add"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", _pair_tuple(self.edges, "edges"))
+
+
+@dataclass(frozen=True)
+class EdgeRemove:
+    """Remove ``(u, v)`` edges; every pair must currently exist."""
+
+    edges: tuple[tuple[int, int], ...]
+    kind = "edge_remove"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", _pair_tuple(self.edges, "edges"))
+
+
+@dataclass(frozen=True)
+class Compound:
+    """Apply ``deltas`` in sequence as one stream event; role maps
+    compose, and later deltas see earlier ids (e.g. a maintenance
+    restore is ``Compound((EdgeAdd(...), DemandChange(...)))``)."""
+
+    deltas: tuple["InstanceDelta", ...]
+    kind = "compound"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+        for d in self.deltas:
+            if not hasattr(d, "kind"):
+                raise ValueError(f"compound entries must be deltas, got {d!r}")
+
+
+InstanceDelta = Union[
+    CapacityScale,
+    DemandChange,
+    ClientArrival,
+    ClientDeparture,
+    ServerArrival,
+    ServerDeparture,
+    EdgeAdd,
+    EdgeRemove,
+    Compound,
+]
+
+
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """A valid post-delta instance plus the surviving-role mapping.
+
+    ``left_map`` / ``right_map`` have the *old* side sizes; entry ``i``
+    is the new id of old vertex ``i``, or ``-1`` if it departed.
+    ``structure_changed`` is False exactly when the new instance shares
+    the old graph object (capacity-only deltas and no-ops), in which
+    case the cached :class:`~repro.kernels.RoundWorkspace` stays
+    resident untouched.
+    """
+
+    instance: AllocationInstance
+    left_map: np.ndarray
+    right_map: np.ndarray
+    structure_changed: bool
+    detail: dict[str, Any]
+
+    @property
+    def noop(self) -> bool:
+        return bool(self.detail.get("noop", False))
+
+    @property
+    def surviving_right(self) -> int:
+        return int((self.right_map >= 0).sum())
+
+
+def remap_exponents(
+    exponents: np.ndarray, right_map: np.ndarray, n_new_right: int
+) -> np.ndarray:
+    """Carry a retained β exponent vector across a delta.
+
+    Surviving servers keep their converged exponent; arrivals (and the
+    slots of departed servers) start at the cold level ``0``.  Sound
+    for the same reason warm starts are (DESIGN.md §8): the dynamics
+    converge from any integer starting vector and the λ-free
+    certificate validates termination regardless of the start.
+    """
+    exponents = np.asarray(exponents)
+    if exponents.shape != right_map.shape:
+        raise ValueError(
+            f"exponent vector has shape {exponents.shape}, role map "
+            f"{right_map.shape}"
+        )
+    out = np.zeros(n_new_right, dtype=np.int64)
+    alive = right_map >= 0
+    out[right_map[alive]] = exponents[alive]
+    return out
+
+
+# ----------------------------------------------------------------------
+# apply_delta
+# ----------------------------------------------------------------------
+def _identity(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def _noop(instance: AllocationInstance, detail: dict[str, Any]) -> DeltaOutcome:
+    detail = {**detail, "noop": True}
+    return DeltaOutcome(
+        instance=instance,
+        left_map=_identity(instance.n_left),
+        right_map=_identity(instance.n_right),
+        structure_changed=False,
+        detail=detail,
+    )
+
+
+def _recap(
+    instance: AllocationInstance, caps: np.ndarray, detail: dict[str, Any]
+) -> DeltaOutcome:
+    """Capacity-only outcome: same graph object, new capacity vector."""
+    if np.array_equal(caps, instance.capacities):
+        return _noop(instance, detail)
+    new = AllocationInstance(
+        graph=instance.graph,
+        capacities=caps,
+        arboricity_upper_bound=instance.arboricity_upper_bound,
+        name=instance.name,
+        metadata=dict(instance.metadata),
+    )
+    return DeltaOutcome(
+        instance=new,
+        left_map=_identity(instance.n_left),
+        right_map=_identity(instance.n_right),
+        structure_changed=False,
+        detail=detail,
+    )
+
+
+def _rebuild(
+    instance: AllocationInstance,
+    n_left: int,
+    n_right: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    caps: np.ndarray,
+    *,
+    bound: Optional[int],
+    left_map: np.ndarray,
+    right_map: np.ndarray,
+    detail: dict[str, Any],
+) -> DeltaOutcome:
+    graph = build_graph(n_left, n_right, edge_u, edge_v)
+    new = AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=bound,
+        name=instance.name,
+        metadata=dict(instance.metadata),
+    )
+    return DeltaOutcome(
+        instance=new,
+        left_map=left_map,
+        right_map=right_map,
+        structure_changed=True,
+        detail=detail,
+    )
+
+
+def _check_right_ids(instance: AllocationInstance, ids, label: str) -> np.ndarray:
+    ids = np.asarray(list(ids), dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= instance.n_right):
+        raise ValueError(
+            f"{label} names a server outside [0, {instance.n_right})"
+        )
+    return ids
+
+
+def _check_left_ids(instance: AllocationInstance, ids, label: str) -> np.ndarray:
+    ids = np.asarray(list(ids), dtype=np.int64)
+    if ids.size and (ids.min() < 0 or ids.max() >= instance.n_left):
+        raise ValueError(f"{label} names a client outside [0, {instance.n_left})")
+    return ids
+
+
+def _edge_codes(edge_u: np.ndarray, edge_v: np.ndarray, n_right: int) -> np.ndarray:
+    return edge_u.astype(np.int64) * np.int64(max(1, n_right)) + edge_v
+
+
+def _apply_capacity_scale(
+    instance: AllocationInstance, delta: CapacityScale
+) -> DeltaOutcome:
+    caps = instance.capacities.copy()
+    if delta.vertices is None:
+        idx = slice(None)
+        touched = instance.n_right
+    else:
+        ids = _check_right_ids(instance, delta.vertices, "capacity_scale")
+        if np.unique(ids).size != ids.size:
+            raise ValueError("capacity_scale vertices must be distinct")
+        idx = ids
+        touched = int(ids.size)
+    caps[idx] = np.maximum(1, np.rint(delta.factor * caps[idx])).astype(np.int64)
+    return _recap(
+        instance, caps, {"delta": delta.kind, "factor": delta.factor, "touched": touched}
+    )
+
+
+def _apply_demand_change(
+    instance: AllocationInstance, delta: DemandChange
+) -> DeltaOutcome:
+    if not delta.updates:
+        return _noop(instance, {"delta": delta.kind})
+    ids = _check_right_ids(instance, delta.updates, "demand_change")
+    caps = instance.capacities.copy()
+    drained = [v for v, c in delta.updates.items() if c == 0]
+    for v, c in delta.updates.items():
+        caps[v] = max(1, c)  # drained servers pin to 1 on an isolated vertex
+    active_drains = [v for v in drained if instance.graph.right_degrees[v] > 0]
+    detail = {"delta": delta.kind, "touched": int(ids.size), "drained": drained}
+    if not active_drains:
+        return _recap(instance, caps, detail)
+    g = instance.graph
+    keep = ~np.isin(g.edge_v, np.asarray(active_drains, dtype=np.int64))
+    detail["edges_removed"] = int((~keep).sum())
+    return _rebuild(
+        instance,
+        g.n_left,
+        g.n_right,
+        g.edge_u[keep],
+        g.edge_v[keep],
+        caps,
+        bound=instance.arboricity_upper_bound,  # removal only
+        left_map=_identity(g.n_left),
+        right_map=_identity(g.n_right),
+        detail=detail,
+    )
+
+
+def _apply_client_arrival(
+    instance: AllocationInstance, delta: ClientArrival
+) -> DeltaOutcome:
+    if not delta.neighbors:
+        return _noop(instance, {"delta": delta.kind})
+    g = instance.graph
+    new_u: list[int] = []
+    new_v: list[int] = []
+    for i, nbrs in enumerate(delta.neighbors):
+        if len(set(nbrs)) != len(nbrs):
+            raise ValueError(f"arriving client {i} repeats a neighbor")
+        _check_right_ids(instance, nbrs, "client_arrival")
+        u = g.n_left + i
+        new_u.extend([u] * len(nbrs))
+        new_v.extend(nbrs)
+    return _rebuild(
+        instance,
+        g.n_left + len(delta.neighbors),
+        g.n_right,
+        np.concatenate([g.edge_u, np.asarray(new_u, dtype=np.int64)]),
+        np.concatenate([g.edge_v, np.asarray(new_v, dtype=np.int64)]),
+        instance.capacities.copy(),
+        bound=None,  # additions can raise arboricity
+        left_map=_identity(g.n_left),
+        right_map=_identity(g.n_right),
+        detail={
+            "delta": delta.kind,
+            "arrived": len(delta.neighbors),
+            "edges_added": len(new_u),
+        },
+    )
+
+
+def _apply_client_departure(
+    instance: AllocationInstance, delta: ClientDeparture
+) -> DeltaOutcome:
+    if not delta.clients:
+        return _noop(instance, {"delta": delta.kind})
+    g = instance.graph
+    ids = _check_left_ids(instance, delta.clients, "client_departure")
+    if np.unique(ids).size != ids.size:
+        raise ValueError("client_departure ids must be distinct")
+    alive = np.ones(g.n_left, dtype=bool)
+    alive[ids] = False
+    left_map = np.full(g.n_left, -1, dtype=np.int64)
+    left_map[alive] = np.arange(int(alive.sum()), dtype=np.int64)
+    keep = alive[g.edge_u]
+    return _rebuild(
+        instance,
+        int(alive.sum()),
+        g.n_right,
+        left_map[g.edge_u[keep]],
+        g.edge_v[keep],
+        instance.capacities.copy(),
+        bound=instance.arboricity_upper_bound,  # removal only
+        left_map=left_map,
+        right_map=_identity(g.n_right),
+        detail={
+            "delta": delta.kind,
+            "departed": int(ids.size),
+            "edges_removed": int((~keep).sum()),
+        },
+    )
+
+
+def _apply_server_arrival(
+    instance: AllocationInstance, delta: ServerArrival
+) -> DeltaOutcome:
+    if not delta.capacities:
+        return _noop(instance, {"delta": delta.kind})
+    g = instance.graph
+    new_u: list[int] = []
+    new_v: list[int] = []
+    for i, nbrs in enumerate(delta.neighbors):
+        if len(set(nbrs)) != len(nbrs):
+            raise ValueError(f"arriving server {i} repeats a neighbor")
+        _check_left_ids(instance, nbrs, "server_arrival")
+        v = g.n_right + i
+        new_v.extend([v] * len(nbrs))
+        new_u.extend(nbrs)
+    caps = np.concatenate(
+        [instance.capacities, np.asarray(delta.capacities, dtype=np.int64)]
+    )
+    return _rebuild(
+        instance,
+        g.n_left,
+        g.n_right + len(delta.capacities),
+        np.concatenate([g.edge_u, np.asarray(new_u, dtype=np.int64)]),
+        np.concatenate([g.edge_v, np.asarray(new_v, dtype=np.int64)]),
+        caps,
+        bound=None,
+        left_map=_identity(g.n_left),
+        right_map=_identity(g.n_right),
+        detail={
+            "delta": delta.kind,
+            "arrived": len(delta.capacities),
+            "edges_added": len(new_u),
+        },
+    )
+
+
+def _apply_server_departure(
+    instance: AllocationInstance, delta: ServerDeparture
+) -> DeltaOutcome:
+    if not delta.servers:
+        return _noop(instance, {"delta": delta.kind})
+    g = instance.graph
+    ids = _check_right_ids(instance, delta.servers, "server_departure")
+    if np.unique(ids).size != ids.size:
+        raise ValueError("server_departure ids must be distinct")
+    alive = np.ones(g.n_right, dtype=bool)
+    alive[ids] = False
+    right_map = np.full(g.n_right, -1, dtype=np.int64)
+    right_map[alive] = np.arange(int(alive.sum()), dtype=np.int64)
+    keep = alive[g.edge_v]
+    return _rebuild(
+        instance,
+        g.n_left,
+        int(alive.sum()),
+        g.edge_u[keep],
+        right_map[g.edge_v[keep]],
+        instance.capacities[alive].copy(),
+        bound=instance.arboricity_upper_bound,  # removal only
+        left_map=_identity(g.n_left),
+        right_map=right_map,
+        detail={
+            "delta": delta.kind,
+            "departed": int(ids.size),
+            "edges_removed": int((~keep).sum()),
+        },
+    )
+
+
+def _apply_edge_add(instance: AllocationInstance, delta: EdgeAdd) -> DeltaOutcome:
+    if not delta.edges:
+        return _noop(instance, {"delta": delta.kind})
+    g = instance.graph
+    add = np.asarray(delta.edges, dtype=np.int64)
+    _check_left_ids(instance, add[:, 0], "edge_add")
+    _check_right_ids(instance, add[:, 1], "edge_add")
+    codes = _edge_codes(add[:, 0], add[:, 1], g.n_right)
+    if np.unique(codes).size != codes.size:
+        raise ValueError("edge_add repeats a pair")
+    existing = _edge_codes(g.edge_u, g.edge_v, g.n_right)
+    dup = np.isin(codes, existing)
+    if dup.any():
+        u, v = delta.edges[int(np.argmax(dup))]
+        raise ValueError(f"edge ({u}, {v}) already exists")
+    return _rebuild(
+        instance,
+        g.n_left,
+        g.n_right,
+        np.concatenate([g.edge_u, add[:, 0]]),
+        np.concatenate([g.edge_v, add[:, 1]]),
+        instance.capacities.copy(),
+        bound=None,
+        left_map=_identity(g.n_left),
+        right_map=_identity(g.n_right),
+        detail={"delta": delta.kind, "edges_added": int(add.shape[0])},
+    )
+
+
+def _apply_edge_remove(instance: AllocationInstance, delta: EdgeRemove) -> DeltaOutcome:
+    if not delta.edges:
+        return _noop(instance, {"delta": delta.kind})
+    g = instance.graph
+    drop = np.asarray(delta.edges, dtype=np.int64)
+    _check_left_ids(instance, drop[:, 0], "edge_remove")
+    _check_right_ids(instance, drop[:, 1], "edge_remove")
+    codes = _edge_codes(drop[:, 0], drop[:, 1], g.n_right)
+    if np.unique(codes).size != codes.size:
+        raise ValueError("edge_remove repeats a pair")
+    existing = _edge_codes(g.edge_u, g.edge_v, g.n_right)
+    missing = ~np.isin(codes, existing)
+    if missing.any():
+        u, v = delta.edges[int(np.argmax(missing))]
+        raise ValueError(f"edge ({u}, {v}) does not exist")
+    keep = ~np.isin(existing, codes)
+    return _rebuild(
+        instance,
+        g.n_left,
+        g.n_right,
+        g.edge_u[keep],
+        g.edge_v[keep],
+        instance.capacities.copy(),
+        bound=instance.arboricity_upper_bound,  # removal only
+        left_map=_identity(g.n_left),
+        right_map=_identity(g.n_right),
+        detail={"delta": delta.kind, "edges_removed": int(drop.shape[0])},
+    )
+
+
+def _compose_maps(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    out = np.full(first.shape, -1, dtype=np.int64)
+    alive = first >= 0
+    out[alive] = second[first[alive]]
+    return out
+
+
+def _apply_compound(instance: AllocationInstance, delta: Compound) -> DeltaOutcome:
+    if not delta.deltas:
+        return _noop(instance, {"delta": delta.kind})
+    current = instance
+    left_map = _identity(instance.n_left)
+    right_map = _identity(instance.n_right)
+    structure_changed = False
+    parts: list[dict[str, Any]] = []
+    for sub in delta.deltas:
+        outcome = apply_delta(current, sub)
+        current = outcome.instance
+        left_map = _compose_maps(left_map, outcome.left_map)
+        right_map = _compose_maps(right_map, outcome.right_map)
+        structure_changed = structure_changed or outcome.structure_changed
+        parts.append(outcome.detail)
+    if current is instance:
+        return _noop(instance, {"delta": delta.kind, "parts": parts})
+    return DeltaOutcome(
+        instance=current,
+        left_map=left_map,
+        right_map=right_map,
+        structure_changed=structure_changed,
+        detail={"delta": delta.kind, "parts": parts},
+    )
+
+
+_APPLIERS = {
+    CapacityScale: _apply_capacity_scale,
+    DemandChange: _apply_demand_change,
+    ClientArrival: _apply_client_arrival,
+    ClientDeparture: _apply_client_departure,
+    ServerArrival: _apply_server_arrival,
+    ServerDeparture: _apply_server_departure,
+    EdgeAdd: _apply_edge_add,
+    EdgeRemove: _apply_edge_remove,
+    Compound: _apply_compound,
+}
+
+
+def apply_delta(instance: AllocationInstance, delta: InstanceDelta) -> DeltaOutcome:
+    """Apply one delta, returning a valid instance plus role mapping.
+
+    Raises ``ValueError`` on any invalid mutation (out-of-range ids,
+    duplicate additions, removals of absent edges) *before* touching
+    anything — a delta either applies atomically or not at all.
+    """
+    applier = _APPLIERS.get(type(delta))
+    if applier is None:
+        raise TypeError(f"not an InstanceDelta: {delta!r}")
+    return applier(instance, delta)
+
+
+# ----------------------------------------------------------------------
+# JSON codec (the JSONL stream format)
+# ----------------------------------------------------------------------
+DELTA_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        CapacityScale,
+        DemandChange,
+        ClientArrival,
+        ClientDeparture,
+        ServerArrival,
+        ServerDeparture,
+        EdgeAdd,
+        EdgeRemove,
+        Compound,
+    )
+}
+
+
+def delta_to_json(delta: InstanceDelta) -> dict[str, Any]:
+    """One JSON object per delta (inverse of :func:`delta_from_json`)."""
+    if isinstance(delta, CapacityScale):
+        obj: dict[str, Any] = {"type": delta.kind, "factor": delta.factor}
+        if delta.vertices is not None:
+            obj["vertices"] = list(delta.vertices)
+        return obj
+    if isinstance(delta, DemandChange):
+        return {
+            "type": delta.kind,
+            "updates": {str(k): v for k, v in delta.updates.items()},
+        }
+    if isinstance(delta, ClientArrival):
+        return {"type": delta.kind, "neighbors": [list(n) for n in delta.neighbors]}
+    if isinstance(delta, ClientDeparture):
+        return {"type": delta.kind, "clients": list(delta.clients)}
+    if isinstance(delta, ServerArrival):
+        return {
+            "type": delta.kind,
+            "capacities": list(delta.capacities),
+            "neighbors": [list(n) for n in delta.neighbors],
+        }
+    if isinstance(delta, ServerDeparture):
+        return {"type": delta.kind, "servers": list(delta.servers)}
+    if isinstance(delta, (EdgeAdd, EdgeRemove)):
+        return {"type": delta.kind, "edges": [list(e) for e in delta.edges]}
+    if isinstance(delta, Compound):
+        return {"type": delta.kind, "deltas": [delta_to_json(d) for d in delta.deltas]}
+    raise TypeError(f"not an InstanceDelta: {delta!r}")
+
+
+def _require_fields(obj: Mapping[str, Any], kind: str, fields: set[str]) -> None:
+    extra = set(obj) - fields - {"type"}
+    if extra:
+        raise ValueError(f"unknown fields {sorted(extra)} for delta {kind!r}")
+
+
+def delta_from_json(obj: Mapping[str, Any]) -> InstanceDelta:
+    """Decode one JSON delta object; malformed input raises
+    ``ValueError`` with the offending field named."""
+    if not isinstance(obj, Mapping):
+        raise ValueError(f"a delta must be a JSON object, got {type(obj).__name__}")
+    kind = obj.get("type")
+    cls = DELTA_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(
+            f"unknown delta type {kind!r}; known: {sorted(DELTA_TYPES)}"
+        )
+    if cls is CapacityScale:
+        _require_fields(obj, kind, {"factor", "vertices"})
+        factor = obj.get("factor")
+        if isinstance(factor, bool) or not isinstance(factor, (int, float)):
+            raise ValueError(f"capacity_scale factor must be a number, got {factor!r}")
+        vertices = obj.get("vertices")
+        return CapacityScale(
+            factor=float(factor),
+            vertices=None if vertices is None else tuple(vertices),
+        )
+    if cls is DemandChange:
+        _require_fields(obj, kind, {"updates"})
+        updates = obj.get("updates")
+        if not isinstance(updates, Mapping):
+            raise ValueError("demand_change updates must be an object")
+        return DemandChange(updates={int(k): v for k, v in updates.items()})
+    if cls is ClientArrival:
+        _require_fields(obj, kind, {"neighbors"})
+        return ClientArrival(neighbors=_as_rows(obj.get("neighbors"), "neighbors"))
+    if cls is ClientDeparture:
+        _require_fields(obj, kind, {"clients"})
+        return ClientDeparture(clients=_as_row(obj.get("clients"), "clients"))
+    if cls is ServerArrival:
+        _require_fields(obj, kind, {"capacities", "neighbors"})
+        return ServerArrival(
+            capacities=_as_row(obj.get("capacities"), "capacities"),
+            neighbors=_as_rows(obj.get("neighbors"), "neighbors"),
+        )
+    if cls is ServerDeparture:
+        _require_fields(obj, kind, {"servers"})
+        return ServerDeparture(servers=_as_row(obj.get("servers"), "servers"))
+    if cls in (EdgeAdd, EdgeRemove):
+        _require_fields(obj, kind, {"edges"})
+        return cls(edges=_as_rows(obj.get("edges"), "edges"))
+    _require_fields(obj, kind, {"deltas"})
+    subs = obj.get("deltas")
+    if not isinstance(subs, Sequence) or isinstance(subs, (str, bytes)):
+        raise ValueError("compound deltas must be an array of delta objects")
+    return Compound(deltas=tuple(delta_from_json(s) for s in subs))
+
+
+def _as_row(value: Any, label: str) -> tuple:
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ValueError(f"{label} must be an array")
+    return tuple(value)
+
+
+def _as_rows(value: Any, label: str) -> tuple:
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ValueError(f"{label} must be an array of arrays")
+    return tuple(_as_row(row, f"{label} entry") for row in value)

@@ -1,0 +1,285 @@
+"""Reproducible delta-stream generators (the dynamic workload suite).
+
+Each generator is a pure function of ``(instance, steps, parameters,
+seed)`` returning a list of
+:class:`~repro.dynamic.deltas.InstanceDelta` — one delta per stream
+step — that applies cleanly to ``instance`` when replayed in order.
+Randomness follows the library's keyed rng slot contract
+(:class:`~repro.utils.rng.RngFactory`): every draw comes from
+``factory.get(step, slot)`` with a fixed slot per *role*, so a stream
+is a pure function of ``(seed, step)`` — re-generating any prefix, or
+a single step, reproduces identical deltas regardless of order.
+
+Slot assignment (fixed per role, mirroring the pipeline's
+slot-per-stage rule):
+
+====  =======================================
+slot  role
+====  =======================================
+0     capacity noise (jitter, bump targets)
+1     arrival topology (who a new client/server connects to)
+2     departure / drain selection
+3     churn rewiring (edge removals and replacements)
+====  =======================================
+
+The four scenario classes:
+
+* :func:`diurnal_wave` — every server's demand follows a sinusoid of
+  the *base* capacities with per-server jitter; capacity-only deltas,
+  the workspace stays resident for the whole stream.
+* :func:`flash_crowd` — a burst of client arrivals (each wired to a
+  few random servers) followed by their LIFO departure; structural
+  deltas whose right side never changes, so the exponent remap is
+  identity and the left CSR layout churns.
+* :func:`rolling_maintenance` — a drain window rolls over the servers:
+  each step restores the previous window (edges re-added, demand
+  reset) and drains the next (edges removed, capacity pinned); emitted
+  as :class:`~repro.dynamic.deltas.Compound` restore+drain events.
+* :func:`adversarial_churn` — edge rewiring plus random demand flips,
+  the keep-nothing-stable stress stream.
+
+``SCENARIOS`` maps names to generators for the CLI and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.dynamic.deltas import (
+    ClientArrival,
+    ClientDeparture,
+    Compound,
+    DemandChange,
+    EdgeAdd,
+    EdgeRemove,
+    InstanceDelta,
+)
+from repro.graphs.instances import AllocationInstance
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "diurnal_wave",
+    "flash_crowd",
+    "rolling_maintenance",
+    "adversarial_churn",
+    "SCENARIOS",
+]
+
+# The keyed rng slots (module docstring).
+CAPACITY_SLOT = 0
+ARRIVAL_SLOT = 1
+DEPARTURE_SLOT = 2
+CHURN_SLOT = 3
+
+
+def diurnal_wave(
+    instance: AllocationInstance,
+    steps: int,
+    *,
+    amplitude: float = 0.4,
+    period: int = 8,
+    jitter: float = 0.1,
+    seed=None,
+) -> list[InstanceDelta]:
+    """Capacity demand oscillating around the instance's base profile.
+
+    Step ``t`` sets every capacity to ``max(1, rint(base_v · (1 +
+    amplitude·sin(2π(t+1)/period) + jitter_v)))`` with per-server
+    jitter drawn from slot 0 — the daily load wave over a server
+    fleet.  All deltas are capacity-only.
+    """
+    if not (0.0 <= amplitude < 1.0):
+        raise ValueError(f"amplitude must lie in [0, 1), got {amplitude}")
+    if period < 2:
+        raise ValueError(f"period must be >= 2, got {period}")
+    base = instance.capacities.astype(np.float64)
+    factory = RngFactory(seed)
+    deltas: list[InstanceDelta] = []
+    for t in range(steps):
+        wave = 1.0 + amplitude * math.sin(2.0 * math.pi * (t + 1) / period)
+        noise = factory.get(t, CAPACITY_SLOT).uniform(
+            -jitter, jitter, size=base.shape[0]
+        )
+        caps = np.maximum(1, np.rint(base * (wave + noise))).astype(np.int64)
+        deltas.append(
+            DemandChange(updates={int(v): int(c) for v, c in enumerate(caps)})
+        )
+    return deltas
+
+
+def flash_crowd(
+    instance: AllocationInstance,
+    steps: int,
+    *,
+    crowd: int = 6,
+    degree: int = 2,
+    start: int = 2,
+    duration: Optional[int] = None,
+    seed=None,
+) -> list[InstanceDelta]:
+    """A flash crowd: ``crowd`` clients arrive per step during the
+    burst window, each wired to ``degree`` random servers (slot 1),
+    then leave LIFO at the same rate.  Steps outside the burst apply
+    small rotating capacity bumps (slot 0) so every step still changes
+    the instance.
+    """
+    if crowd < 1 or degree < 1:
+        raise ValueError("crowd and degree must be >= 1")
+    n_right = instance.n_right
+    if n_right == 0:
+        raise ValueError("flash_crowd needs at least one server")
+    degree = min(degree, n_right)
+    if duration is None:
+        duration = max(1, (steps - start) // 3)
+    factory = RngFactory(seed)
+    deltas: list[InstanceDelta] = []
+    arrived = 0  # clients currently appended past the base left side
+    base_left = instance.n_left
+    base_caps = instance.capacities
+    for t in range(steps):
+        in_burst = start <= t < start + duration
+        if in_burst:
+            rng = factory.get(t, ARRIVAL_SLOT)
+            neighbors = tuple(
+                tuple(
+                    int(v)
+                    for v in rng.choice(n_right, size=degree, replace=False)
+                )
+                for _ in range(crowd)
+            )
+            deltas.append(ClientArrival(neighbors=neighbors))
+            arrived += crowd
+        elif arrived > 0:
+            # LIFO departure of the most recent arrival block: ids are
+            # the tail of the left side, so surviving ids never shift.
+            leave = min(crowd, arrived)
+            first = base_left + arrived - leave
+            deltas.append(
+                ClientDeparture(clients=tuple(range(first, first + leave)))
+            )
+            arrived -= leave
+        else:
+            rng = factory.get(t, CAPACITY_SLOT)
+            v = int(rng.integers(0, n_right))
+            bump = int(base_caps[v]) + int(rng.integers(1, 3))
+            deltas.append(DemandChange(updates={v: bump}))
+    return deltas
+
+
+def rolling_maintenance(
+    instance: AllocationInstance,
+    steps: int,
+    *,
+    window: int = 2,
+    seed=None,
+) -> list[InstanceDelta]:
+    """A maintenance drain rolling over the server fleet.
+
+    Each step emits one :class:`Compound`: re-add the previously
+    drained window's edges and restore its demand, then drain the next
+    ``window`` servers (demand 0 removes their incident edges).  The
+    rolling order is a seed-keyed permutation of the servers (slot 2),
+    so the stream is reproducible but not id-ordered.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    n_right = instance.n_right
+    if n_right == 0:
+        raise ValueError("rolling_maintenance needs at least one server")
+    window = min(window, n_right)
+    factory = RngFactory(seed)
+    order = factory.get(0, DEPARTURE_SLOT).permutation(n_right)
+    g = instance.graph
+    base_caps = instance.capacities
+
+    def incident_edges(v: int) -> list[tuple[int, int]]:
+        return [(int(u), int(v)) for u in g.right_neighbors(v)]
+
+    deltas: list[InstanceDelta] = []
+    drained: list[int] = []
+    cursor = 0
+    for _ in range(steps):
+        parts: list[InstanceDelta] = []
+        updates: dict[int, int] = {}
+        restore_edges: list[tuple[int, int]] = []
+        for v in drained:
+            restore_edges.extend(incident_edges(v))
+            updates[v] = int(base_caps[v])
+        if restore_edges:
+            parts.append(EdgeAdd(edges=tuple(restore_edges)))
+        next_window = [int(order[(cursor + i) % n_right]) for i in range(window)]
+        cursor = (cursor + window) % n_right
+        for v in next_window:
+            updates[v] = 0
+        parts.append(DemandChange(updates=updates))
+        deltas.append(Compound(deltas=tuple(parts)))
+        drained = next_window
+    return deltas
+
+
+def adversarial_churn(
+    instance: AllocationInstance,
+    steps: int,
+    *,
+    churn: int = 4,
+    demand_flips: int = 2,
+    seed=None,
+) -> list[InstanceDelta]:
+    """Keep-nothing-stable churn: per step, remove ``churn`` random
+    existing edges, add ``churn`` random absent pairs (slot 3), and
+    flip ``demand_flips`` random capacities between 1 and 3× base
+    (slot 0).  The generator tracks the evolving edge set so every
+    emitted delta is valid when replayed in order.
+    """
+    if churn < 0 or demand_flips < 0:
+        raise ValueError("churn and demand_flips must be >= 0")
+    g = instance.graph
+    n_left, n_right = g.n_left, g.n_right
+    if n_left == 0 or n_right == 0:
+        raise ValueError("adversarial_churn needs both sides non-empty")
+    factory = RngFactory(seed)
+    edges = {(int(u), int(v)) for u, v in zip(g.edge_u, g.edge_v)}
+    base_caps = instance.capacities
+    deltas: list[InstanceDelta] = []
+    for t in range(steps):
+        parts: list[InstanceDelta] = []
+        rng = factory.get(t, CHURN_SLOT)
+        current = sorted(edges)
+        n_remove = min(churn, len(current))
+        removed: list[tuple[int, int]] = []
+        if n_remove:
+            picks = rng.choice(len(current), size=n_remove, replace=False)
+            removed = [current[int(i)] for i in picks]
+            parts.append(EdgeRemove(edges=tuple(removed)))
+            edges.difference_update(removed)
+        added: list[tuple[int, int]] = []
+        attempts = 0
+        while len(added) < churn and attempts < 20 * max(1, churn):
+            attempts += 1
+            pair = (int(rng.integers(0, n_left)), int(rng.integers(0, n_right)))
+            if pair in edges or pair in added:
+                continue
+            added.append(pair)
+        if added:
+            parts.append(EdgeAdd(edges=tuple(added)))
+            edges.update(added)
+        if demand_flips:
+            rng_c = factory.get(t, CAPACITY_SLOT)
+            updates = {}
+            for _ in range(demand_flips):
+                v = int(rng_c.integers(0, n_right))
+                updates[v] = max(1, int(rng_c.integers(1, 3 * int(base_caps[v]) + 1)))
+            parts.append(DemandChange(updates=updates))
+        deltas.append(Compound(deltas=tuple(parts)))
+    return deltas
+
+
+SCENARIOS: dict[str, Callable[..., list[InstanceDelta]]] = {
+    "diurnal_wave": diurnal_wave,
+    "flash_crowd": flash_crowd,
+    "rolling_maintenance": rolling_maintenance,
+    "adversarial_churn": adversarial_churn,
+}

@@ -1,0 +1,171 @@
+"""Delta-driven incremental re-solves over a resident session.
+
+A :class:`DynamicSession` is the serving story for *changing*
+instances (DESIGN.md §9): it owns a
+:class:`~repro.serve.AllocationSession` for the current instance and,
+on every applied :class:`~repro.dynamic.deltas.InstanceDelta`,
+
+1. produces the valid post-delta instance and surviving-role mapping
+   (:func:`~repro.dynamic.deltas.apply_delta`),
+2. carries the kernel workspace across: capacity-only deltas share the
+   graph object, so the resident
+   :class:`~repro.kernels.RoundWorkspace` is reused untouched;
+   structural deltas rebuild it incrementally
+   (:func:`~repro.kernels.transplant_workspace` re-adopts each CSR
+   side whose layout survived), and
+3. remaps the retained converged β exponents through the role mapping
+   (:func:`~repro.dynamic.deltas.remap_exponents`) and primes them
+   into the new session, so the next re-solve warm-starts.
+
+Warm incremental re-solves carry the *same* validation as static
+solves: the λ-free certificate is asserted on termination and the
+integral output is re-checked against Definition 5 (the
+``AllocationSession`` warm-path contract).  When a delta invalidates
+the warm state — no completed solve yet, or no server survived the
+delta — the session falls back to a cold solve and records it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.pipeline import PipelineResult
+from repro.dynamic.deltas import (
+    DeltaOutcome,
+    InstanceDelta,
+    apply_delta,
+    remap_exponents,
+)
+from repro.graphs.instances import AllocationInstance
+from repro.kernels import transplant_workspace
+from repro.serve.session import AllocationSession, SolveRequest
+
+__all__ = ["DynamicStats", "DynamicSession"]
+
+
+@dataclass
+class DynamicStats:
+    """Counters a dynamic serving layer would export."""
+
+    deltas_applied: int = 0
+    noop_deltas: int = 0
+    capacity_patches: int = 0        # graph object shared, workspace resident
+    structural_rebuilds: int = 0     # new graph, workspace transplanted
+    layouts_reused: int = 0          # CSR sides adopted across rebuilds (of 2 each)
+    warm_resolves: int = 0
+    cold_resolves: int = 0
+    cold_fallbacks: int = 0          # deltas that invalidated the warm state
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "deltas_applied": self.deltas_applied,
+            "noop_deltas": self.noop_deltas,
+            "capacity_patches": self.capacity_patches,
+            "structural_rebuilds": self.structural_rebuilds,
+            "layouts_reused": self.layouts_reused,
+            "warm_resolves": self.warm_resolves,
+            "cold_resolves": self.cold_resolves,
+            "cold_fallbacks": self.cold_fallbacks,
+        }
+
+
+class DynamicSession:
+    """A resident solver for one *evolving* instance.
+
+    Construct on the initial instance, :meth:`resolve` once to
+    establish the warm state, then alternate :meth:`apply` /
+    :meth:`resolve` (or use :meth:`step`, or drive a whole stream with
+    :func:`repro.serve.replay_stream`).  Constructor keywords mirror
+    :class:`~repro.serve.AllocationSession` and become the defaults of
+    every generation of the underlying session.
+
+    ``lam`` intentionally defaults to ``None`` (λ-oblivious guessing):
+    deltas that add edges clear the instance's certified arboricity
+    bound, and a fixed λ that the grown instance exceeds would make the
+    certificate unreachable.
+    """
+
+    def __init__(self, instance: AllocationInstance, **session_kwargs: Any):
+        self._session_kwargs = dict(session_kwargs)
+        self.session = AllocationSession(instance, **self._session_kwargs)
+        self.stats = DynamicStats()
+        self.last_outcome: Optional[DeltaOutcome] = None
+
+    @property
+    def instance(self) -> AllocationInstance:
+        """The current (post-delta) instance."""
+        return self.session.instance
+
+    # -- delta lifecycle -----------------------------------------------
+    def apply(self, delta: InstanceDelta) -> DeltaOutcome:
+        """Apply one delta: new instance, workspace carry-over, warm
+        state remap.  Returns the :class:`DeltaOutcome`; the next
+        :meth:`resolve` runs against the new instance."""
+        outcome = apply_delta(self.instance, delta)
+        self.stats.deltas_applied += 1
+        self.last_outcome = outcome
+        if outcome.noop:
+            # Same instance object: the resident session is already
+            # exactly the warm re-solve of the unchanged instance.
+            self.stats.noop_deltas += 1
+            return outcome
+
+        old = self.session
+        exponents = old.exponents_snapshot()
+        if outcome.structure_changed:
+            self.stats.structural_rebuilds += 1
+            workspace = transplant_workspace(
+                outcome.instance.graph, old.workspace
+            )
+            self.stats.layouts_reused += int(
+                workspace.left is old.workspace.left
+            ) + int(workspace.right is old.workspace.right)
+        else:
+            # Capacity-only: outcome.instance shares the graph object,
+            # so the new session resolves the same resident workspace.
+            self.stats.capacity_patches += 1
+        self.session = AllocationSession(
+            outcome.instance, **self._session_kwargs
+        )
+        if exponents is None:
+            return outcome
+        if outcome.surviving_right == 0:
+            # Nothing to remap through — the delta invalidated the
+            # retained state entirely; the next resolve runs cold.
+            self.stats.cold_fallbacks += 1
+            return outcome
+        self.session.prime_exponents(
+            remap_exponents(
+                exponents, outcome.right_map, outcome.instance.n_right
+            )
+        )
+        return outcome
+
+    # -- solving -------------------------------------------------------
+    def resolve(
+        self, request: Optional[SolveRequest] = None, **overrides: Any
+    ) -> PipelineResult:
+        """Re-solve the current instance, warm-starting from the
+        remapped exponents when available (cold otherwise), with the
+        full warm-path validation."""
+        result = self.session.solve(request, **overrides)
+        if result.meta.get("warm_start"):
+            self.stats.warm_resolves += 1
+        else:
+            self.stats.cold_resolves += 1
+        return result
+
+    def step(
+        self,
+        delta: InstanceDelta,
+        request: Optional[SolveRequest] = None,
+        **overrides: Any,
+    ) -> tuple[DeltaOutcome, PipelineResult]:
+        """:meth:`apply` then :meth:`resolve` — one stream event."""
+        outcome = self.apply(delta)
+        return outcome, self.resolve(request, **overrides)
+
+    def reset(self) -> None:
+        """Drop the warm state; the next resolve runs cold."""
+        self.session.reset()

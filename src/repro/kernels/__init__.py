@@ -49,6 +49,7 @@ from repro.kernels.workspace import (
     RoundWorkspace,
     SegmentLayout,
     resolve_workspace,
+    transplant_workspace,
     workspace_for,
 )
 
@@ -65,6 +66,7 @@ __all__ = [
     "RoundWorkspace",
     "workspace_for",
     "resolve_workspace",
+    "transplant_workspace",
     "proportional_round",
     "segment_sum",
     "segment_max",

@@ -32,7 +32,13 @@ import numpy as np
 if TYPE_CHECKING:  # avoid a runtime cycle: graphs.bipartite imports kernels
     from repro.graphs.bipartite import BipartiteGraph
 
-__all__ = ["SegmentLayout", "RoundWorkspace", "workspace_for", "resolve_workspace"]
+__all__ = [
+    "SegmentLayout",
+    "RoundWorkspace",
+    "workspace_for",
+    "resolve_workspace",
+    "transplant_workspace",
+]
 
 _WORKSPACE_ATTR = "_round_workspace"
 
@@ -176,6 +182,54 @@ def workspace_for(graph: "BipartiteGraph") -> RoundWorkspace:
         # The dataclass is frozen; writing through __dict__ mirrors how
         # functools.cached_property caches on frozen dataclasses.
         graph.__dict__[_WORKSPACE_ATTR] = ws
+    return ws
+
+
+def transplant_workspace(
+    new_graph: "BipartiteGraph", parent: RoundWorkspace
+) -> RoundWorkspace:
+    """Build ``new_graph``'s workspace incrementally from a parent's.
+
+    The dynamic-instance path (DESIGN.md §9): applying a structural
+    delta produces a *new* graph object, but deltas rarely disturb both
+    CSR sides — a rewiring that preserves degrees, or a capacity drain
+    that only touches one side's rows, leaves an ``indptr`` unchanged.
+    A :class:`SegmentLayout` is a pure function of its ``indptr``, so
+    any side whose ``indptr`` matches the parent's adopts the parent's
+    layout object wholesale, carrying over every lazily materialized
+    invariant (``degrees``, ``slot_owner``, ``reduceat`` offsets)
+    instead of recomputing them on the new graph's first solve.
+
+    Capacity-only deltas never reach this function: they reuse the
+    graph object itself, so :func:`workspace_for` already returns the
+    resident workspace.  Sides that did change are rebuilt lazily as
+    usual.  The result is installed as ``new_graph``'s cached
+    workspace, exactly as if :func:`workspace_for` had built it.
+    """
+    existing = new_graph.__dict__.get(_WORKSPACE_ATTR)
+    if existing is not None:
+        return existing
+    if parent.graph is new_graph:
+        return parent
+
+    def adopt(side: str, indptr_field: str, layout: SegmentLayout) -> None:
+        # Seed the graph's cached_property slot before RoundWorkspace
+        # reads it, so workspace and graph share one layout per side.
+        # The graph's indptr field is replaced by the layout's own
+        # (equal, read-only) array: the optimized backend trusts a
+        # layout only when `layout.indptr is indptr` holds for the
+        # indptr it was called with, so an equal-but-distinct array
+        # would silently demote every segment call to the slow path.
+        if side in new_graph.__dict__:
+            return
+        if np.array_equal(layout.indptr, getattr(new_graph, indptr_field)):
+            new_graph.__dict__[side] = layout
+            object.__setattr__(new_graph, indptr_field, layout.indptr)
+
+    adopt("left_layout", "left_indptr", parent.left)
+    adopt("right_layout", "right_indptr", parent.right)
+    ws = RoundWorkspace(new_graph)
+    new_graph.__dict__[_WORKSPACE_ATTR] = ws
     return ws
 
 

@@ -11,6 +11,9 @@ shape:
   the last converged β exponent vector for warm-started solves.
 * :func:`solve_batch` — thread-parallel batch execution across
   sessions with the seed-per-position determinism contract.
+* :func:`replay_stream` — drive a :class:`repro.dynamic.DynamicSession`
+  through a delta stream, re-solving (warm) after every event
+  (DESIGN.md §9).
 
 Cold solves stay bit-identical to
 :func:`repro.core.pipeline.solve_allocation`; warm solves pass the
@@ -21,6 +24,7 @@ sessions run on lives in :mod:`repro.core.pipeline`.
 from __future__ import annotations
 
 from repro.serve.batch import solve_batch, solve_stream
+from repro.serve.replay import ReplayStep, replay_stream
 from repro.serve.session import (
     AllocationSession,
     SessionStats,
@@ -35,4 +39,6 @@ __all__ = [
     "check_integral_feasible",
     "solve_batch",
     "solve_stream",
+    "ReplayStep",
+    "replay_stream",
 ]

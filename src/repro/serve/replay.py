@@ -1,0 +1,112 @@
+"""Replay a delta stream over a dynamic session (DESIGN.md §9).
+
+:func:`replay_stream` is the dynamic counterpart of
+:func:`repro.serve.solve_stream`: it drives a
+:class:`~repro.dynamic.DynamicSession` through a sequence of instance
+deltas, re-solving after each one, and returns one :class:`ReplayStep`
+audit record per event.  Seeds follow the batch determinism rule —
+step ``i`` with no explicit request seed receives ``spawn(seed, n)[i]``
+— so a replay is a pure function of ``(initial instance, delta list,
+seed)``; delta application itself is deterministic.
+
+Replays run serially by construction: each delta's instance depends on
+the previous one, so the stream is a chain, not a batch.  The
+parallelism story for dynamic serving is many independent streams,
+each on its own session (thread-safe workspaces make sessions cheap to
+keep resident side by side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from repro.core.pipeline import PipelineResult
+from repro.serve.session import SolveRequest
+from repro.utils.rng import spawn
+
+__all__ = ["ReplayStep", "replay_stream"]
+
+
+@dataclass(frozen=True)
+class ReplayStep:
+    """One stream event's audit record: what the delta did, and how
+    the re-solve went."""
+
+    index: int
+    delta_kind: str
+    structure_changed: bool
+    noop: bool
+    warm_start: bool
+    local_rounds: int
+    size: int
+    certified: bool
+    result: PipelineResult = field(repr=False)
+    outcome: Any = field(repr=False)
+
+    def as_row(self) -> dict[str, Any]:
+        """JSON-serializable summary row (the CLI's output format)."""
+        return {
+            "step": self.index,
+            "delta": self.delta_kind,
+            "structure_changed": self.structure_changed,
+            "noop": self.noop,
+            "warm_start": self.warm_start,
+            "local_rounds": self.local_rounds,
+            "final_size": self.size,
+            "certified": self.certified,
+        }
+
+
+def replay_stream(
+    dynamic: Any,
+    deltas: Sequence[Any],
+    *,
+    seed=None,
+    requests: Optional[Sequence[Optional[SolveRequest]]] = None,
+) -> list[ReplayStep]:
+    """Apply each delta and re-solve; one :class:`ReplayStep` per event.
+
+    ``dynamic`` is a :class:`repro.dynamic.DynamicSession` (typed
+    loosely to keep the package dependency one-directional).
+    ``requests`` optionally aligns a per-step
+    :class:`~repro.serve.SolveRequest` with each delta (``None``
+    entries use the session defaults); a request's explicit ``seed``
+    wins over the spawned per-position stream, exactly as in
+    :func:`~repro.serve.solve_batch`.
+
+    Warm starts engage automatically once the session has a completed
+    solve: prime the session (``dynamic.resolve(seed=...)``) before
+    replaying, or accept that the first step runs cold.
+    """
+    deltas = list(deltas)
+    if requests is not None and len(requests) != len(deltas):
+        raise ValueError(
+            f"got {len(requests)} requests for {len(deltas)} deltas"
+        )
+    streams = spawn(seed, len(deltas))
+    steps: list[ReplayStep] = []
+    for i, (delta, stream) in enumerate(zip(deltas, streams)):
+        outcome = dynamic.apply(delta)
+        request = requests[i] if requests is not None else None
+        if request is None:
+            request = SolveRequest(seed=stream)
+        elif request.seed is None:
+            request = replace(request, seed=stream)
+        result = dynamic.resolve(request)
+        cert = result.mpc.certificate
+        steps.append(
+            ReplayStep(
+                index=i,
+                delta_kind=getattr(delta, "kind", type(delta).__name__),
+                structure_changed=outcome.structure_changed,
+                noop=outcome.noop,
+                warm_start=bool(result.meta.get("warm_start")),
+                local_rounds=result.mpc.local_rounds,
+                size=result.size,
+                certified=bool(cert is not None and cert.satisfied),
+                result=result,
+                outcome=outcome,
+            )
+        )
+    return steps

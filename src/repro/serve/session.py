@@ -241,6 +241,24 @@ class AllocationSession:
             self._exponents = None
             self._last_result = None
 
+    def prime_exponents(self, exponents: np.ndarray) -> None:
+        """Install a retained β exponent vector directly, so the next
+        ``warm=True`` solve starts from it.
+
+        The dynamic layer's remap path (DESIGN.md §9): after an
+        instance delta, the surviving servers' converged exponents are
+        remapped onto the new instance and primed into the fresh
+        session — no completed solve required.  The vector is validated
+        against this session's graph; the usual warm-path certificate
+        and feasibility assertions still gate every solve that uses it.
+        """
+        from repro.core.proportional import validate_initial_exponents
+
+        base = validate_initial_exponents(self.instance.graph, exponents)
+        assert base is not None
+        with self._lock:
+            self._exponents = base.copy()
+
     @property
     def last_result(self) -> Optional[PipelineResult]:
         with self._lock:
