@@ -1,19 +1,39 @@
 """repro — reproduction of "Faster MPC Algorithms for Approximate
 Allocation in Uniformly Sparse Graphs" (SPAA 2025, arXiv:2506.04524).
 
+The supported entry point is the :mod:`repro.api` Engine façade —
+:class:`Engine` bound to a :class:`SolverConfig`, returning
+:class:`AllocationReport` results — re-exported here.  Pluggable
+implementations (kernel backends, MPC substrates, pipeline stages)
+register through :mod:`repro.registry`.
+
 Subpackages
 -----------
+``repro.api``
+    The unified Engine façade: one typed :class:`SolverConfig`, one
+    :class:`AllocationReport` result schema, one lifecycle over the
+    cold, warm, MPC and dynamic paths (DESIGN.md §10).
+``repro.registry``
+    One ``register()``/``resolve()`` protocol over every pluggable
+    implementation axis (kernel backends, MPC substrates, pipeline
+    stages).
 ``repro.graphs``
     Bipartite graph substrate, workload generators, arboricity tools.
 ``repro.local``
     LOCAL model simulator (synchronous message passing).
 ``repro.mpc``
     MPC model simulator: machines, space accounting, primitives,
-    graph exponentiation, round cost model.
+    graph exponentiation, round cost model, pluggable substrates
+    (object / columnar, DESIGN.md §7).
+``repro.kernels``
+    The unified kernel layer: segment primitives behind pluggable
+    backends (reference / optimized) and cached per-graph
+    :class:`~repro.kernels.RoundWorkspace` state (DESIGN.md §6).
 ``repro.core``
     The paper's algorithms: proportional allocation (Algorithm 1),
     adaptive thresholds (Algorithm 3), sampled phases (Algorithm 2),
-    LOCAL and MPC drivers, termination certificates.
+    LOCAL and MPC drivers, termination certificates, and the
+    composable stage pipeline.
 ``repro.rounding``
     §6 randomized rounding from fractional to integral allocations.
 ``repro.boosting``
@@ -27,10 +47,40 @@ Subpackages
 ``repro.serve``
     The serving layer: resident sessions with warm-started solves and
     the thread-parallel batch executor (DESIGN.md §8).
+``repro.dynamic``
+    Delta-driven dynamic instances: the typed delta algebra, the
+    :class:`~repro.dynamic.DynamicSession` carrying warm state across
+    deltas, and reproducible churn scenarios (DESIGN.md §9).
 """
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 from repro.graphs import AllocationInstance, BipartiteGraph, build_graph
 
-__all__ = ["AllocationInstance", "BipartiteGraph", "build_graph", "__version__"]
+__all__ = [
+    "AllocationInstance",
+    "BipartiteGraph",
+    "build_graph",
+    "Engine",
+    "SolverConfig",
+    "AllocationReport",
+    "__version__",
+]
+
+# The façade exports resolve lazily (PEP 562): `from repro import
+# Engine` works, but `import repro` alone — and the config-free CLI
+# paths (info/generate) — do not pay for loading the whole solver
+# stack behind repro.api.
+_API_EXPORTS = ("Engine", "SolverConfig", "AllocationReport")
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_API_EXPORTS))

@@ -1,0 +1,46 @@
+"""repro.api — the unified Engine façade (DESIGN.md §10).
+
+One typed config, one plugin registry, one result schema across every
+solve path:
+
+* :class:`SolverConfig` — a frozen, validated configuration (ε,
+  kernel backend, MPC substrate, execution mode, seed policy, stage
+  overrides) with a versioned JSON round trip; the single source of
+  truth that replaces scattered kwargs and the
+  ``REPRO_KERNEL_BACKEND`` / ``REPRO_MPC_SUBSTRATE`` environment
+  variables.
+* :class:`Engine` — context-manager lifecycle over the config:
+  ``solve`` (cold pipeline), ``solve_mpc`` (fractional Theorem 3),
+  ``open_session`` (warm resident serving), ``open_dynamic``
+  (delta-driven instances), ``batch`` / ``stream``.
+* :class:`AllocationReport` — one result type wrapping
+  :class:`~repro.core.pipeline.PipelineResult` /
+  :class:`~repro.core.mpc_driver.MPCResult` with common accessors
+  (allocation, certificate, stage records, round ledger) and a
+  versioned ``to_json`` / ``from_json`` schema.
+
+Plugin registration lives in :mod:`repro.registry` (kinds
+``kernel_backend``, ``mpc_substrate``, ``pipeline_stage``) behind one
+``register()`` / ``resolve()`` protocol.
+
+Cold-path outputs are bit-identical to the historical entry points
+(:func:`repro.core.pipeline.solve_allocation`,
+:func:`repro.core.mpc_driver.solve_allocation_mpc`) on the same
+config — asserted by ``tests/test_api.py`` and the CI
+``api-stability`` job.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import CONFIG_SCHEMA, SolverConfig
+from repro.api.engine import Engine, StreamResult
+from repro.api.report import REPORT_SCHEMA, AllocationReport
+
+__all__ = [
+    "CONFIG_SCHEMA",
+    "REPORT_SCHEMA",
+    "SolverConfig",
+    "Engine",
+    "StreamResult",
+    "AllocationReport",
+]

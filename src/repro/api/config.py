@@ -1,0 +1,256 @@
+"""The one typed solver configuration (DESIGN.md §10).
+
+Four PRs of growth configured solves through a different mix of kwargs
+per entry point, two environment variables, and per-call stage
+overrides.  :class:`SolverConfig` is the replacement: a frozen
+dataclass that is the single source of truth for *how* to solve —
+approximation target, kernel backend, MPC substrate, execution mode,
+seed policy, and stage selection — validated eagerly against the
+unified :mod:`repro.registry`, and JSON round-trippable under a
+versioned schema so configurations travel with results.
+
+Every field has the historical default, so ``SolverConfig()`` behaves
+exactly like the bare entry points it replaces — the cold-path parity
+tests in ``tests/test_api.py`` assert bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro import registry
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["CONFIG_SCHEMA", "SolverConfig"]
+
+CONFIG_SCHEMA = "repro.api/SolverConfig/v1"
+
+_MODES = ("simulate", "faithful")
+_BOOST_MODES = ("layered", "deterministic")
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Frozen, validated solver configuration.
+
+    Parameters
+    ----------
+    epsilon:
+        The pipeline approximation parameter (ε ≤ 1/4, Theorem 17).
+    backend:
+        Kernel backend name (``repro.registry`` kind
+        ``"kernel_backend"``); ``None`` leaves the process-active
+        backend untouched.  Replaces ``REPRO_KERNEL_BACKEND`` /
+        ``set_backend``.
+    substrate:
+        Faithful-mode MPC substrate name (kind ``"mpc_substrate"``);
+        ``None`` leaves the active substrate untouched.  Replaces
+        ``REPRO_MPC_SUBSTRATE`` / ``set_substrate``.
+    mode:
+        Fractional-solve validation mode: ``"simulate"`` (the scale
+        path) or ``"faithful"`` (every communication step executed on
+        an accounted cluster — DESIGN.md §5).
+    seed:
+        Default seed for calls that do not pass one (the seed policy:
+        explicit per-call seeds always win).
+    stages:
+        Explicit pipeline-stage names (kind ``"pipeline_stage"``), in
+        execution order; ``None`` selects the paper's default pipeline
+        shaped by ``repair``/``boost``.
+    repair / boost / boost_epsilon / boost_mode / rounding_copies:
+        The stage knobs, exactly as on
+        :func:`repro.core.pipeline.solve_allocation`.
+    lam / alpha:
+        Arboricity bound (``None`` = λ-oblivious guessing) and the MPC
+        space exponent.
+    max_workers:
+        Default thread-pool width for :meth:`repro.api.Engine.batch`.
+    """
+
+    epsilon: float = 0.2
+    backend: Optional[str] = None
+    substrate: Optional[str] = None
+    mode: str = "simulate"
+    seed: Optional[int] = None
+    stages: Optional[tuple[str, ...]] = None
+    repair: bool = True
+    boost: bool = True
+    boost_epsilon: Optional[float] = None
+    boost_mode: str = "layered"
+    rounding_copies: Optional[int] = None
+    lam: Optional[int] = None
+    alpha: float = 0.5
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "epsilon", check_fraction(self.epsilon, "epsilon", inclusive_high=0.25)
+        )
+        if self.backend is not None and self.backend not in registry.available(
+            "kernel_backend"
+        ):
+            raise ValueError(
+                f"unknown kernel backend {self.backend!r}; "
+                f"available: {registry.available('kernel_backend')}"
+            )
+        if self.substrate is not None and self.substrate not in registry.available(
+            "mpc_substrate"
+        ):
+            raise ValueError(
+                f"unknown MPC substrate {self.substrate!r}; "
+                f"available: {registry.available('mpc_substrate')}"
+            )
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {list(_MODES)}, got {self.mode!r}")
+        if self.boost_mode not in _BOOST_MODES:
+            raise ValueError(
+                f"boost_mode must be one of {list(_BOOST_MODES)}, "
+                f"got {self.boost_mode!r}"
+            )
+        if self.seed is not None and not _is_int(self.seed):
+            raise ValueError(f"seed must be an integer or None, got {self.seed!r}")
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+        if self.stages is not None:
+            if isinstance(self.stages, str):
+                raise ValueError(
+                    "stages must be a sequence of stage names, not a string"
+                )
+            stages = tuple(self.stages)
+            known = registry.available("pipeline_stage")
+            for name in stages:
+                if name not in known:
+                    raise ValueError(
+                        f"unknown pipeline stage {name!r}; available: {known}"
+                    )
+            object.__setattr__(self, "stages", stages)
+        if self.boost_epsilon is not None:
+            object.__setattr__(
+                self,
+                "boost_epsilon",
+                check_fraction(self.boost_epsilon, "boost_epsilon"),
+            )
+        if self.rounding_copies is not None:
+            object.__setattr__(
+                self,
+                "rounding_copies",
+                check_positive_int(self.rounding_copies, "rounding_copies"),
+            )
+        if self.lam is not None:
+            object.__setattr__(self, "lam", check_positive_int(self.lam, "lam"))
+        if not (0.0 < float(self.alpha) < 1.0):
+            raise ValueError(f"alpha must lie in (0,1), got {self.alpha}")
+        object.__setattr__(self, "alpha", float(self.alpha))
+        if self.max_workers is not None:
+            object.__setattr__(
+                self,
+                "max_workers",
+                check_positive_int(self.max_workers, "max_workers"),
+            )
+
+    # -- derived views ---------------------------------------------------
+    def replace(self, **overrides: Any) -> "SolverConfig":
+        """A copy with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def mpc_options(self) -> dict[str, Any]:
+        """Extra keywords for :func:`~repro.core.mpc_driver.solve_allocation_mpc`
+        inside a pipeline's fractional stage — empty for the historical
+        defaults, so the default cold path stays the plain
+        :func:`~repro.core.pipeline.solve_allocation` call."""
+        options: dict[str, Any] = {}
+        if self.mode != "simulate":
+            options["mode"] = self.mode
+        if self.substrate is not None:
+            options["substrate"] = self.substrate
+        return options
+
+    def build_stages(self):
+        """The configured stage tuple.
+
+        ``stages=None`` builds the paper's default pipeline
+        (:func:`repro.core.pipeline.default_stages` under the config's
+        knobs); explicit names resolve through the unified registry
+        (kind ``"pipeline_stage"``), each factory receiving this
+        config.
+        """
+        if self.stages is None:
+            from repro.core.pipeline import default_stages
+
+            return default_stages(
+                repair=self.repair,
+                boost=self.boost,
+                boost_epsilon=self.boost_epsilon,
+                boost_mode=self.boost_mode,  # type: ignore[arg-type]
+                lam=self.lam,
+                alpha=self.alpha,
+                rounding_copies=self.rounding_copies,
+                mpc_options=self.mpc_options(),
+            )
+        return tuple(
+            registry.resolve("pipeline_stage", name)(self) for name in self.stages
+        )
+
+    def session_kwargs(self) -> dict[str, Any]:
+        """Constructor keywords for :class:`repro.serve.AllocationSession`
+        / :class:`repro.dynamic.DynamicSession` carrying this config's
+        defaults."""
+        return {
+            "epsilon": self.epsilon,
+            "repair": self.repair,
+            "boost": self.boost,
+            "boost_epsilon": self.boost_epsilon,
+            "boost_mode": self.boost_mode,
+            "rounding_copies": self.rounding_copies,
+            "lam": self.lam,
+            "alpha": self.alpha,
+            "mpc_options": self.mpc_options(),
+        }
+
+    # -- JSON round trip -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict under the versioned schema."""
+        payload: dict[str, Any] = {"schema": CONFIG_SCHEMA}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "stages" and value is not None:
+                value = list(value)
+            payload[f.name] = value
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SolverConfig":
+        """Inverse of :meth:`to_dict` (schema-checked, re-validated)."""
+        schema = payload.get("schema")
+        if schema != CONFIG_SCHEMA:
+            raise ValueError(
+                f"unsupported SolverConfig schema {schema!r}; "
+                f"expected {CONFIG_SCHEMA!r}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(payload) - known - {"schema"}
+        if extra:
+            raise ValueError(
+                f"unknown SolverConfig fields {sorted(extra)}; known: {sorted(known)}"
+            )
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        stages = kwargs.get("stages")
+        if isinstance(stages, Sequence) and not isinstance(stages, (str, bytes)):
+            kwargs["stages"] = tuple(stages)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolverConfig":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,386 @@
+"""The Engine façade: one entry point over every solve path.
+
+An :class:`Engine` binds a :class:`~repro.api.SolverConfig` and exposes
+the repository's five serving shapes behind one surface (DESIGN.md
+§10):
+
+========================  ============================================
+``solve(instance)``        cold pipeline solve
+                           (:func:`repro.core.pipeline.solve_allocation`)
+``solve_mpc(instance)``    fractional-only Theorem-3 solve
+                           (:func:`~repro.core.mpc_driver.solve_allocation_mpc`)
+``open_session(inst)``     resident warm-start session
+                           (:class:`repro.serve.AllocationSession`)
+``open_dynamic(inst)``     delta-driven dynamic session
+                           (:class:`repro.dynamic.DynamicSession`)
+``batch(...)``             request batch over a session
+                           (:func:`repro.serve.solve_stream` /
+                           :func:`~repro.serve.solve_batch`)
+``stream(...)``            delta-stream replay
+                           (:func:`repro.serve.replay_stream`)
+========================  ============================================
+
+Lifecycle: the engine applies its config's kernel backend and MPC
+substrate *scoped*.  ``with Engine(config) as engine: ...`` installs
+them on entry and restores the previous selection on exit; outside a
+``with`` block each call applies and restores them around itself.
+:meth:`activate` installs them process-wide without a paired restore —
+the CLI's historical semantics.
+
+Parity contract (asserted in ``tests/test_api.py`` and CI): on the
+same :class:`SolverConfig`, ``Engine.solve`` is bit-identical to
+:func:`~repro.core.pipeline.solve_allocation` and ``Engine.solve_mpc``
+to :func:`~repro.core.mpc_driver.solve_allocation_mpc` — the façade
+changes how solves are *addressed*, never what they compute.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.config import SolverConfig
+from repro.api.report import AllocationReport
+from repro.dynamic.session import DynamicSession
+from repro.graphs.instances import AllocationInstance
+from repro.serve.session import AllocationSession, SolveRequest
+
+__all__ = ["Engine", "StreamResult"]
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of :meth:`Engine.stream`: the priming solve, one
+    :class:`~repro.serve.ReplayStep` per delta, and the session left
+    resident for further events."""
+
+    session: DynamicSession = field(repr=False)
+    prime: Optional[AllocationReport]
+    steps: tuple
+
+    @property
+    def reports(self) -> list[AllocationReport]:
+        """Per-step results wrapped as :class:`AllocationReport`."""
+        return [AllocationReport.from_pipeline(step.result) for step in self.steps]
+
+    def rows(self) -> list[dict[str, Any]]:
+        """JSON-serializable per-step audit rows."""
+        return [step.as_row() for step in self.steps]
+
+
+def _as_request(obj: Union[SolveRequest, Mapping[str, Any]]) -> SolveRequest:
+    if isinstance(obj, SolveRequest):
+        return obj
+    return SolveRequest.from_json(obj)
+
+
+def _as_delta(obj: Any):
+    if isinstance(obj, Mapping):
+        from repro.dynamic.deltas import delta_from_json
+
+        return delta_from_json(obj)
+    return obj
+
+
+class Engine:
+    """One configured solver engine over every execution path.
+
+    Construct from a :class:`SolverConfig` (or keyword overrides of
+    the defaults): ``Engine(config)``, ``Engine(epsilon=0.1,
+    backend="reference")``, or ``Engine(config, seed=7)``.
+    """
+
+    def __init__(self, config: Optional[SolverConfig] = None, **overrides: Any):
+        if config is not None and not isinstance(config, SolverConfig):
+            raise TypeError(
+                f"config must be a SolverConfig, got {type(config).__name__}"
+            )
+        if config is None:
+            config = SolverConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self._restore: Optional[tuple] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._restore is not None else "inactive"
+        return f"<Engine {state} config={self.config!r}>"
+
+    # -- lifecycle -------------------------------------------------------
+    def activate(self) -> "Engine":
+        """Install the config's backend/substrate process-globally.
+
+        Idempotent.  Pair with :meth:`close` (or use the engine as a
+        context manager) to restore the previous selection; leave
+        unpaired for the install-and-forget CLI shape.
+        """
+        if self._restore is None:
+            prev_backend = prev_substrate = None
+            if self.config.backend is not None:
+                from repro.kernels.backends import _set_backend_impl
+
+                prev_backend = _set_backend_impl(self.config.backend)
+            if self.config.substrate is not None:
+                from repro.mpc.substrate import _set_substrate_impl
+
+                prev_substrate = _set_substrate_impl(self.config.substrate)
+            self._restore = (prev_backend, prev_substrate)
+        return self
+
+    def close(self) -> None:
+        """Restore the backend/substrate active before :meth:`activate`."""
+        if self._restore is not None:
+            prev_backend, prev_substrate = self._restore
+            self._restore = None
+            if prev_backend is not None:
+                from repro.kernels.backends import _set_backend_impl
+
+                _set_backend_impl(prev_backend)
+            if prev_substrate is not None:
+                from repro.mpc.substrate import _set_substrate_impl
+
+                _set_substrate_impl(prev_substrate)
+
+    def __enter__(self) -> "Engine":
+        return self.activate()
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+    @contextmanager
+    def _scoped(self):
+        """Backend/substrate applied for one call (no-op when the
+        engine is already activated)."""
+        if self._restore is not None:
+            yield
+            return
+        self.activate()
+        try:
+            yield
+        finally:
+            self.close()
+
+    # -- instance plumbing ----------------------------------------------
+    @staticmethod
+    def load_instance(path: Any) -> AllocationInstance:
+        """Load an instance JSON file (:mod:`repro.graphs.io`)."""
+        from repro.graphs.io import load_instance
+
+        return load_instance(path)
+
+    @staticmethod
+    def generate_instance(family: str, **params: Any) -> AllocationInstance:
+        """Materialize a benchmark-family instance by registry name.
+
+        Raises ``ValueError`` listing the known families for an
+        unknown name (the CLI's ``generate`` path).
+        """
+        from repro.graphs.generators import FAMILY_BUILDERS
+
+        builder = FAMILY_BUILDERS.get(family)
+        if builder is None:
+            raise ValueError(
+                f"unknown family {family!r}; available: {sorted(FAMILY_BUILDERS)}"
+            )
+        return builder(**params)
+
+    # -- the solve paths -------------------------------------------------
+    def solve(
+        self,
+        instance: AllocationInstance,
+        *,
+        seed: Any = None,
+        initial_exponents: Optional[np.ndarray] = None,
+        **overrides: Any,
+    ) -> AllocationReport:
+        """Cold full-pipeline solve under this engine's config.
+
+        ``overrides`` are per-call :class:`SolverConfig` field
+        overrides (re-validated); ``seed=None`` falls back to the
+        config's seed policy.  Bit-identical to
+        :func:`~repro.core.pipeline.solve_allocation` on the same
+        config (the parity test).
+        """
+        config = self.config.replace(**overrides) if overrides else self.config
+        if seed is None:
+            seed = config.seed
+        with self._scoped():
+            if (
+                config.stages is None
+                and config.rounding_copies is None
+                and not config.mpc_options()
+            ):
+                from repro.core.pipeline import solve_allocation
+
+                result = solve_allocation(
+                    instance,
+                    config.epsilon,
+                    boost_epsilon=config.boost_epsilon,
+                    lam=config.lam,
+                    alpha=config.alpha,
+                    repair=config.repair,
+                    boost=config.boost,
+                    boost_mode=config.boost_mode,  # type: ignore[arg-type]
+                    seed=seed,
+                    initial_exponents=initial_exponents,
+                )
+            else:
+                from repro.core.pipeline import run_pipeline
+
+                # Mirror solve_allocation's meta exactly (boost_epsilon
+                # resolved the same way), so the schema does not leak
+                # which internal branch ran; the extra knob appears
+                # only when set.
+                meta = {
+                    "epsilon": config.epsilon,
+                    "boost_epsilon": config.boost_epsilon
+                    if config.boost_epsilon is not None
+                    else max(config.epsilon, 0.25),
+                    "repair": config.repair,
+                    "boost": config.boost,
+                    "warm_start": initial_exponents is not None,
+                }
+                if config.rounding_copies is not None:
+                    meta["rounding_copies"] = config.rounding_copies
+                result = run_pipeline(
+                    instance,
+                    config.build_stages(),
+                    config.epsilon,
+                    seed=seed,
+                    initial_exponents=initial_exponents,
+                    meta=meta,
+                )
+        return AllocationReport.from_pipeline(result)
+
+    def solve_mpc(
+        self,
+        instance: AllocationInstance,
+        *,
+        seed: Any = None,
+        initial_exponents: Optional[np.ndarray] = None,
+        **mpc_kwargs: Any,
+    ) -> AllocationReport:
+        """Fractional Theorem-3 solve (the config's ``mode`` selects
+        simulate vs faithful execution; ``substrate`` the faithful
+        cluster representation).  Extra keywords forward to
+        :func:`~repro.core.mpc_driver.solve_allocation_mpc`, winning
+        over the config's value for config-backed parameters
+        (``mode``, ``substrate``, ``alpha``, ``lam``).
+        Bit-identical to the direct call on the same config."""
+        if seed is None:
+            seed = self.config.seed
+        call_kwargs: dict[str, Any] = {
+            "alpha": self.config.alpha,
+            "lam": self.config.lam,
+            "mode": self.config.mode,
+            "substrate": self.config.substrate,
+            "initial_exponents": initial_exponents,
+        }
+        call_kwargs.update(mpc_kwargs)
+        with self._scoped():
+            from repro.core.mpc_driver import solve_allocation_mpc
+
+            result = solve_allocation_mpc(
+                instance, self.config.epsilon, seed=seed, **call_kwargs
+            )
+        return AllocationReport.from_mpc(result)
+
+    # -- resident sessions -----------------------------------------------
+    def open_session(self, instance: AllocationInstance) -> AllocationSession:
+        """A resident warm-start session carrying this config's
+        defaults (DESIGN.md §8).  Run it inside the engine's ``with``
+        block when the config selects a non-default backend."""
+        return AllocationSession(instance, **self.config.session_kwargs())
+
+    def open_dynamic(self, instance: AllocationInstance) -> DynamicSession:
+        """A delta-driven dynamic session carrying this config's
+        defaults (DESIGN.md §9)."""
+        return DynamicSession(instance, **self.config.session_kwargs())
+
+    # -- batch / stream --------------------------------------------------
+    def batch(
+        self,
+        target: Union[AllocationInstance, AllocationSession],
+        requests: Iterable[Union[SolveRequest, Mapping[str, Any]]],
+        *,
+        seed: Any = None,
+        max_workers: Optional[int] = None,
+        prime: bool = True,
+    ) -> list[AllocationReport]:
+        """Serve a request batch through a resident session.
+
+        ``target`` is an instance (a fresh session is opened) or an
+        existing :class:`~repro.serve.AllocationSession`.  Requests may
+        be :class:`~repro.serve.SolveRequest` objects or their JSON
+        mappings.  ``prime=True`` (default) runs the first request
+        serially so the batched remainder warm-starts
+        (:func:`repro.serve.solve_stream`); ``prime=False`` is a plain
+        :func:`repro.serve.solve_batch` against the session's current
+        warm state.  Seeds follow the batch determinism rule; ``seed``
+        / ``max_workers`` fall back to the config.
+        """
+        session = (
+            target
+            if isinstance(target, AllocationSession)
+            else self.open_session(target)
+        )
+        reqs = [_as_request(r) for r in requests]
+        if seed is None:
+            seed = self.config.seed
+        if max_workers is None:
+            max_workers = self.config.max_workers
+        with self._scoped():
+            if prime:
+                from repro.serve.batch import solve_stream
+
+                results = solve_stream(
+                    session, reqs, seed=seed, max_workers=max_workers
+                )
+            else:
+                from repro.serve.batch import solve_batch
+
+                results = solve_batch(
+                    session, reqs, seed=seed, max_workers=max_workers
+                )
+        return [AllocationReport.from_pipeline(r) for r in results]
+
+    def stream(
+        self,
+        target: Union[AllocationInstance, DynamicSession],
+        deltas: Iterable[Any],
+        *,
+        seed: Any = None,
+        requests: Optional[Sequence[Optional[SolveRequest]]] = None,
+        prime: bool = True,
+    ) -> StreamResult:
+        """Replay an instance-delta stream with warm incremental
+        re-solves.
+
+        ``target`` is an initial instance (a fresh
+        :class:`~repro.dynamic.DynamicSession` is opened) or an
+        existing session; deltas may be
+        :class:`~repro.dynamic.InstanceDelta` objects or their JSON
+        mappings.  ``prime=True`` runs the initial solve that
+        establishes the warm state before the first delta (the CLI's
+        shape).  Returns a :class:`StreamResult`.
+        """
+        dynamic = (
+            target if isinstance(target, DynamicSession) else self.open_dynamic(target)
+        )
+        delta_list = [_as_delta(d) for d in deltas]
+        if seed is None:
+            seed = self.config.seed
+        with self._scoped():
+            prime_report = None
+            if prime:
+                prime_report = AllocationReport.from_pipeline(
+                    dynamic.resolve(seed=seed)
+                )
+            from repro.serve.replay import replay_stream
+
+            steps = replay_stream(dynamic, delta_list, seed=seed, requests=requests)
+        return StreamResult(session=dynamic, prime=prime_report, steps=tuple(steps))

@@ -1,0 +1,382 @@
+"""The one result schema (DESIGN.md §10).
+
+The cold path returns a :class:`~repro.core.pipeline.PipelineResult`,
+the fractional-only path an :class:`~repro.core.mpc_driver.MPCResult`
+— two shapes with overlapping-but-different accessors.
+:class:`AllocationReport` wraps either behind one surface: allocation,
+certificate, stage records, round ledger, summary, all reachable the
+same way regardless of which driver produced the result.
+
+Reports serialize to a *versioned* JSON schema (``to_json`` /
+``from_json``).  Serialization keeps everything an operator or a test
+would compare — sizes, rounds, the certificate, the full round ledger,
+stage audit records, the integral edge mask, the converged β exponents
+— and drops only the bulky intermediate numpy state (the fractional
+``x`` vector is kept for MPC-kind reports, where it *is* the output).
+A deserialized report is *detached*: ``report.result`` is ``None``,
+every schema-backed accessor still works.
+
+The payload is built **lazily**: a live report answers every accessor
+straight from the wrapped result, and the O(edges) schema document is
+materialized only on the first ``to_json``/``to_dict``/``payload``
+access — so the hot serving paths (``Engine.batch`` printing summary
+rows) pay nothing for the schema they do not use.  Compare reports via
+``to_dict()``; report objects themselves use identity equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.mpc_driver import MPCResult, MPCRoundLedger
+from repro.core.pipeline import PipelineResult, StageRecord
+from repro.core.termination import CertificateStatus
+
+__all__ = ["REPORT_SCHEMA", "AllocationReport"]
+
+REPORT_SCHEMA = "repro.api/AllocationReport/v1"
+
+_KINDS = ("pipeline", "mpc")
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize numpy scalars/arrays so payloads are plain JSON."""
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}: {value!r}")
+
+
+def _normalize(payload: dict[str, Any]) -> dict[str, Any]:
+    return json.loads(json.dumps(payload, default=_jsonify))
+
+
+def _ledger_dict(ledger: MPCRoundLedger) -> dict[str, Any]:
+    return {
+        "by_category": dict(ledger.by_category),
+        "phases": ledger.phases,
+        "guesses": list(ledger.guesses),
+        "peak_machine_words": ledger.peak_machine_words,
+        "peak_global_words": ledger.peak_global_words,
+        "peak_routed_records": ledger.peak_routed_records,
+        "violations": list(ledger.violations),
+    }
+
+
+def _certificate_dict(cert: Optional[CertificateStatus]) -> Optional[dict[str, Any]]:
+    if cert is None:
+        return None
+    return {
+        "rounds": cert.rounds,
+        "n_prime": cert.n_prime,
+        "l0_size": cert.l0_size,
+        "top_size": cert.top_size,
+        "upper_mass": cert.upper_mass,
+        "small_frontier": cert.small_frontier,
+        "mass_condition": cert.mass_condition,
+        "epsilon": cert.epsilon,
+    }
+
+
+def _mask_dict(edge_mask: np.ndarray) -> dict[str, Any]:
+    mask = np.asarray(edge_mask, dtype=bool)
+    return {
+        "n_edges": int(mask.shape[0]),
+        "true_edges": np.flatnonzero(mask).tolist(),
+    }
+
+
+def _mpc_summary(result: MPCResult) -> dict[str, Any]:
+    return {
+        "mpc_rounds": result.mpc_rounds,
+        "local_rounds": result.local_rounds,
+        "fractional_weight": round(result.match_weight, 3),
+        "certified": bool(
+            result.certificate is not None and result.certificate.satisfied
+        ),
+        "guarantee": result.guarantee,
+    }
+
+
+class AllocationReport:
+    """Unified result wrapper with a versioned JSON schema.
+
+    Build with :meth:`from_pipeline` / :meth:`from_mpc` /
+    :meth:`from_result`; restore a detached report with
+    :meth:`from_json`.  ``result`` is the live driver result when the
+    report was produced in-process; ``payload`` is the (lazily built)
+    normalized schema document of pure JSON types.
+    """
+
+    __slots__ = ("kind", "result", "_payload")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        result: Optional[Union[PipelineResult, MPCResult]] = None,
+        payload: Optional[dict[str, Any]] = None,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(f"report kind must be one of {list(_KINDS)}, got {kind!r}")
+        if result is None and payload is None:
+            raise ValueError("a report needs a live result or a schema payload")
+        self.kind = kind
+        self.result = result
+        self._payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "detached" if self.detached else "live"
+        return f"<AllocationReport {self.kind} {state} size={self.size}>"
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_pipeline(cls, result: PipelineResult) -> "AllocationReport":
+        return cls("pipeline", result=result)
+
+    @classmethod
+    def from_mpc(cls, result: MPCResult) -> "AllocationReport":
+        return cls("mpc", result=result)
+
+    @classmethod
+    def from_result(
+        cls, result: Union[PipelineResult, MPCResult]
+    ) -> "AllocationReport":
+        if isinstance(result, PipelineResult):
+            return cls.from_pipeline(result)
+        if isinstance(result, MPCResult):
+            return cls.from_mpc(result)
+        raise TypeError(
+            f"expected PipelineResult or MPCResult, got {type(result).__name__}"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AllocationReport":
+        schema = payload.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported AllocationReport schema {schema!r}; "
+                f"expected {REPORT_SCHEMA!r}"
+            )
+        kind = payload.get("kind")
+        if kind not in _KINDS:
+            raise ValueError(f"report kind must be one of {list(_KINDS)}, got {kind!r}")
+        return cls(kind, payload=_normalize(dict(payload)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "AllocationReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- internal dispatch -----------------------------------------------
+    def _mpc(self) -> Optional[MPCResult]:
+        """The wrapped MPC-side result (the driver result itself for
+        MPC-kind reports, the pipeline's fractional stage otherwise)."""
+        if self.result is None:
+            return None
+        if isinstance(self.result, PipelineResult):
+            return self.result.mpc
+        return self.result
+
+    def _build_payload(self) -> dict[str, Any]:
+        result = self.result
+        assert result is not None
+        mpc = self._mpc()
+        assert mpc is not None
+        pipeline = result if isinstance(result, PipelineResult) else None
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "kind": self.kind,
+            "epsilon": mpc.epsilon,
+            "size": None if pipeline is None else pipeline.size,
+            "match_weight": mpc.match_weight,
+            "local_rounds": mpc.local_rounds,
+            "mpc_rounds": mpc.mpc_rounds,
+            "guarantee": mpc.guarantee,
+            "certificate": _certificate_dict(mpc.certificate),
+            "ledger": _ledger_dict(mpc.ledger),
+            "stage_records": [
+                {"stage": r.stage, "size": r.size, "detail": dict(r.detail)}
+                for r in (() if pipeline is None else pipeline.stage_records)
+            ],
+            "edge_mask": None if pipeline is None else _mask_dict(pipeline.edge_mask),
+            "final_exponents": None
+            if mpc.final_exponents is None
+            else mpc.final_exponents.tolist(),
+            "allocation_x": mpc.allocation.x.tolist() if pipeline is None else None,
+            "summary": result.summary() if pipeline is not None else _mpc_summary(mpc),
+            "meta": dict(result.meta),
+        }
+        return _normalize(payload)
+
+    # -- serialization ---------------------------------------------------
+    @property
+    def payload(self) -> dict[str, Any]:
+        """The normalized schema document (built on first access for
+        live reports)."""
+        if self._payload is None:
+            self._payload = self._build_payload()
+        return self._payload
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self.payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload, sort_keys=True)
+
+    @property
+    def detached(self) -> bool:
+        """True when restored from JSON (no live result attached)."""
+        return self.result is None
+
+    # -- the common accessors --------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        mpc = self._mpc()
+        return float(mpc.epsilon) if mpc is not None else float(self.payload["epsilon"])
+
+    @property
+    def size(self) -> Optional[int]:
+        """Integral allocation size (``None`` for fractional-only
+        MPC reports)."""
+        if self.result is not None:
+            if isinstance(self.result, PipelineResult):
+                return self.result.size
+            return None
+        size = self.payload["size"]
+        return None if size is None else int(size)
+
+    @property
+    def match_weight(self) -> float:
+        mpc = self._mpc()
+        if mpc is not None:
+            return float(mpc.match_weight)
+        return float(self.payload["match_weight"])
+
+    @property
+    def local_rounds(self) -> int:
+        mpc = self._mpc()
+        return int(mpc.local_rounds if mpc is not None else self.payload["local_rounds"])
+
+    @property
+    def mpc_rounds(self) -> int:
+        mpc = self._mpc()
+        return int(mpc.mpc_rounds if mpc is not None else self.payload["mpc_rounds"])
+
+    @property
+    def guarantee(self) -> Optional[float]:
+        mpc = self._mpc()
+        g = mpc.guarantee if mpc is not None else self.payload["guarantee"]
+        return None if g is None else float(g)
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        if self.result is not None:
+            return dict(self.result.meta)
+        return dict(self.payload["meta"])
+
+    @property
+    def certificate(self) -> Optional[CertificateStatus]:
+        """The λ-free termination certificate (reconstructed for
+        detached reports)."""
+        mpc = self._mpc()
+        if mpc is not None:
+            return mpc.certificate
+        cert = self.payload["certificate"]
+        return None if cert is None else CertificateStatus(**cert)
+
+    @property
+    def certified(self) -> bool:
+        cert = self.certificate
+        return bool(cert is not None and cert.satisfied)
+
+    @property
+    def stage_records(self) -> tuple[StageRecord, ...]:
+        """Per-stage audit records (empty for MPC-kind reports)."""
+        if self.result is not None:
+            if isinstance(self.result, PipelineResult):
+                return self.result.stage_records
+            return ()
+        return tuple(
+            StageRecord(stage=r["stage"], size=r["size"], detail=dict(r["detail"]))
+            for r in self.payload["stage_records"]
+        )
+
+    @property
+    def round_ledger(self) -> MPCRoundLedger:
+        """The accounted MPC round ledger (reconstructed for detached
+        reports)."""
+        mpc = self._mpc()
+        if mpc is not None:
+            return mpc.ledger
+        d = self.payload["ledger"]
+        return MPCRoundLedger(
+            by_category=dict(d["by_category"]),
+            phases=int(d["phases"]),
+            guesses=list(d["guesses"]),
+            peak_machine_words=int(d["peak_machine_words"]),
+            peak_global_words=int(d["peak_global_words"]),
+            peak_routed_records=int(d["peak_routed_records"]),
+            violations=list(d["violations"]),
+        )
+
+    @property
+    def edge_mask(self) -> Optional[np.ndarray]:
+        """The integral allocation's edge mask (``None`` for MPC-kind
+        reports)."""
+        if self.result is not None:
+            if isinstance(self.result, PipelineResult):
+                return self.result.edge_mask
+            return None
+        d = self.payload["edge_mask"]
+        if d is None:
+            return None
+        mask = np.zeros(int(d["n_edges"]), dtype=bool)
+        mask[np.asarray(d["true_edges"], dtype=np.int64)] = True
+        return mask
+
+    @property
+    def final_exponents(self) -> Optional[np.ndarray]:
+        """Converged β exponent vector — the warm-start handoff state."""
+        mpc = self._mpc()
+        if mpc is not None:
+            return mpc.final_exponents
+        exps = self.payload["final_exponents"]
+        return None if exps is None else np.asarray(exps, dtype=np.int64)
+
+    @property
+    def allocation(self):
+        """The fractional allocation.
+
+        Live reports return the driver's
+        :class:`~repro.core.fractional.FractionalAllocation`; detached
+        MPC-kind reports reconstruct it from the serialized ``x``;
+        detached pipeline-kind reports return ``None`` (the fractional
+        intermediate is not serialized — the integral ``edge_mask``
+        is the output there).
+        """
+        mpc = self._mpc()
+        if mpc is not None:
+            return mpc.allocation
+        x = self.payload["allocation_x"]
+        if x is None:
+            return None
+        from repro.core.fractional import FractionalAllocation
+
+        return FractionalAllocation(np.asarray(x, dtype=np.float64))
+
+    def summary(self) -> dict[str, Any]:
+        """One row of the numbers a report would quote — identical to
+        the wrapped result's ``summary()`` for pipeline reports."""
+        if self.result is not None:
+            if isinstance(self.result, PipelineResult):
+                return self.result.summary()
+            return _mpc_summary(self.result)
+        return dict(self.payload["summary"])

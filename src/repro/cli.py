@@ -23,11 +23,15 @@ per step; ``generate`` materializes a benchmark-family instance to the
 JSON format (:mod:`repro.graphs.io`); ``info`` prints instance
 statistics including the measured degeneracy.
 
-``solve``, ``batch`` and ``dynamic`` accept ``--backend`` (kernel backend,
-DESIGN.md §6) and ``--substrate`` (faithful-mode MPC substrate,
-DESIGN.md §7), mapping onto the ``set_backend`` / ``set_substrate``
-registries — equivalent to the ``REPRO_KERNEL_BACKEND`` /
-``REPRO_MPC_SUBSTRATE`` environment variables.
+Every subcommand routes through the :class:`repro.api.Engine` façade:
+the flags of ``solve``, ``batch`` and ``dynamic`` — ``--epsilon``,
+``--seed``, ``--no-boost``, ``--backend`` (kernel backend, DESIGN.md
+§6) and ``--substrate`` (faithful-mode MPC substrate, DESIGN.md §7) —
+build one :class:`repro.api.SolverConfig`, and the engine built from
+it owns the run.  ``--backend``/``--substrate`` are installed
+process-wide for the invocation (``Engine.activate``), matching the
+historical ``set_backend`` / ``set_substrate`` semantics those now
+deprecated shims provided.
 """
 
 from __future__ import annotations
@@ -38,15 +42,17 @@ import sys
 
 from repro.graphs import degeneracy
 from repro.graphs.generators import FAMILY_BUILDERS
-from repro.graphs.io import load_instance, save_instance
+from repro.graphs.io import save_instance
 
 __all__ = ["main"]
 
 
 def _load_instance_checked(path: str):
     """Load an instance file; exit code 2 on missing/malformed input."""
+    from repro.api import Engine
+
     try:
-        return load_instance(path)
+        return Engine.load_instance(path)
     except FileNotFoundError:
         print(f"instance file not found: {path}", file=sys.stderr)
     except OSError as exc:
@@ -58,35 +64,43 @@ def _load_instance_checked(path: str):
     return None
 
 
-def _apply_engine_flags(args: argparse.Namespace) -> bool:
-    """Install --backend / --substrate selections; False on bad names."""
+def _engine_from_args(args: argparse.Namespace, *, session_prefix: str = ""):
+    """Build the activated :class:`repro.api.Engine` from a
+    subcommand's flags; ``None`` (after printing to stderr) on invalid
+    input.
+
+    Validation is reported in two historical voices: bad engine-
+    selection names (``--backend``/``--substrate``) print the registry
+    error as-is, while a bad session parameter (``--epsilon``) is
+    prefixed with ``session_prefix`` so a flag problem is reported as
+    one.  ``activate()`` (no paired restore) preserves the old
+    install-process-wide flag semantics.
+    """
+    from repro import registry
+    from repro.api import Engine, SolverConfig
+
     backend = getattr(args, "backend", None)
-    if backend is not None:
-        from repro.kernels import available_backends, set_backend
-
-        try:
-            set_backend(backend)
-        except (KeyError, ValueError):
-            print(
-                f"unknown kernel backend {backend!r}; "
-                f"available: {available_backends()}",
-                file=sys.stderr,
-            )
-            return False
     substrate = getattr(args, "substrate", None)
-    if substrate is not None:
-        from repro.mpc.substrate import available_substrates, set_substrate
-
-        try:
-            set_substrate(substrate)
-        except ValueError:
-            print(
-                f"unknown MPC substrate {substrate!r}; "
-                f"available: {available_substrates()}",
-                file=sys.stderr,
-            )
-            return False
-    return True
+    try:
+        config = SolverConfig(
+            epsilon=args.epsilon,
+            backend=backend,
+            substrate=substrate,
+            boost=not args.no_boost,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        bad_engine_name = (
+            backend is not None
+            and backend not in registry.available("kernel_backend")
+        ) or (
+            substrate is not None
+            and substrate not in registry.available("mpc_substrate")
+        )
+        prefix = "" if bad_engine_name else session_prefix
+        print(f"{prefix}{exc}", file=sys.stderr)
+        return None
+    return Engine(config).activate()
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -102,29 +116,30 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.baselines.exact import optimum_value
-    from repro.core.pipeline import solve_allocation
 
-    if not _apply_engine_flags(args):
+    engine = _engine_from_args(args)
+    if engine is None:
         return 2
     instance = _load_instance_checked(args.instance)
     if instance is None:
         return 2
-    result = solve_allocation(
-        instance, args.epsilon, seed=args.seed, boost=not args.no_boost
-    )
-    summary = result.summary()
+    report = engine.solve(instance)
+    summary = report.summary()
     if args.with_opt:
         opt = optimum_value(instance)
         summary["opt"] = opt
-        summary["ratio"] = round(opt / max(1, result.size), 4)
+        summary["ratio"] = round(opt / max(1, report.size), 4)
     print(json.dumps({"instance": instance.describe(), "result": summary}, indent=2))
     return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.serve import AllocationSession, SolveRequest, solve_stream
+    from repro.serve import SolveRequest
 
-    if not _apply_engine_flags(args):
+    engine = _engine_from_args(
+        args, session_prefix="invalid request for this instance: "
+    )
+    if engine is None:
         return 2
     instance = _load_instance_checked(args.instance)
     if instance is None:
@@ -150,22 +165,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
             return 2
     try:
-        session = AllocationSession(
-            instance, epsilon=args.epsilon, boost=not args.no_boost
-        )
+        session = engine.open_session(instance)
         # Prime-then-batch (DESIGN.md §8.3): the first request runs
         # serially so the batched remainder warm-starts.
-        results = solve_stream(
-            session, requests, seed=args.seed, max_workers=args.workers
-        )
+        reports = engine.batch(session, requests, max_workers=args.workers)
     except ValueError as exc:
-        # e.g. a bad --epsilon, or capacity_updates naming a vertex
-        # outside the instance
+        # e.g. capacity_updates naming a vertex outside the instance
         print(f"invalid request for this instance: {exc}", file=sys.stderr)
         return 2
-    for i, result in enumerate(results):
-        row = {"request": i, **result.summary()}
-        row["warm_start"] = bool(result.meta.get("warm_start"))
+    for i, report in enumerate(reports):
+        row = {"request": i, **report.summary()}
+        row["warm_start"] = bool(report.meta.get("warm_start"))
         tag = requests[i].tag
         if tag is not None:
             row["tag"] = tag
@@ -178,10 +188,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_dynamic(args: argparse.Namespace) -> int:
-    from repro.dynamic import SCENARIOS, DynamicSession, delta_from_json
-    from repro.serve import replay_stream
+    from repro.dynamic import SCENARIOS, delta_from_json
 
-    if not _apply_engine_flags(args):
+    # A bad --epsilon is a flag problem, not a stream problem — the
+    # engine construction reports it as "invalid session configuration".
+    engine = _engine_from_args(
+        args, session_prefix="invalid session configuration: "
+    )
+    if engine is None:
         return 2
     if (args.deltas is None) == (args.scenario is None):
         print(
@@ -193,11 +207,8 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     if instance is None:
         return 2
     try:
-        dynamic = DynamicSession(
-            instance, epsilon=args.epsilon, boost=not args.no_boost
-        )
-    except ValueError as exc:
-        # e.g. a bad --epsilon — a flag problem, not a stream problem
+        dynamic = engine.open_dynamic(instance)
+    except ValueError as exc:  # pragma: no cover - config already validated
         print(f"invalid session configuration: {exc}", file=sys.stderr)
         return 2
     if args.scenario is not None:
@@ -241,18 +252,19 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
                 )
                 return 2
     try:
-        # Prime: the initial cold solve that establishes the warm state
-        # every subsequent incremental re-solve starts from.
-        prime = dynamic.resolve(seed=args.seed)
-        steps = replay_stream(dynamic, deltas, seed=args.seed)
+        # Prime (the initial cold solve that establishes the warm state
+        # every subsequent incremental re-solve starts from), then the
+        # replay — one engine call.
+        outcome = engine.stream(dynamic, deltas)
     except ValueError as exc:
         # e.g. a delta naming a vertex outside the instance
         print(f"invalid delta stream for this instance: {exc}", file=sys.stderr)
         return 2
-    print(json.dumps({"step": "prime", "local_rounds": prime.mpc.local_rounds,
-                      "final_size": prime.size}))
-    for step in steps:
-        print(json.dumps(step.as_row()))
+    assert outcome.prime is not None
+    print(json.dumps({"step": "prime", "local_rounds": outcome.prime.local_rounds,
+                      "final_size": outcome.prime.size}))
+    for row in outcome.rows():
+        print(json.dumps(row))
     print(
         json.dumps({"dynamic_stats": dynamic.stats.as_dict()}),
         file=sys.stderr,
@@ -261,8 +273,9 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    builder = FAMILY_BUILDERS.get(args.family)
-    if builder is None:
+    from repro.api import Engine
+
+    if args.family not in FAMILY_BUILDERS:
         print(
             f"unknown family {args.family!r}; available: {sorted(FAMILY_BUILDERS)}",
             file=sys.stderr,
@@ -289,7 +302,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    instance = builder(**kwargs)
+    instance = Engine.generate_instance(args.family, **kwargs)
     save_instance(instance, args.out)
     print(f"wrote {instance.name}: n_left={instance.n_left} "
           f"n_right={instance.n_right} m={instance.n_edges} -> {args.out}")

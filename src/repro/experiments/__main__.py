@@ -4,8 +4,14 @@ Examples::
 
     python -m repro.experiments e1
     python -m repro.experiments e5 --scale full --seed 3
+    python -m repro.experiments e5 --backend reference --substrate object
     python -m repro.experiments all --scale smoke
     python -m repro.experiments list
+
+``--backend`` / ``--substrate`` select the engine driving every solve
+(a :class:`repro.api.SolverConfig` activated for the run — the scoped
+replacement for exporting ``REPRO_KERNEL_BACKEND`` /
+``REPRO_MPC_SUBSTRATE`` around the harness).
 """
 
 from __future__ import annotations
@@ -28,7 +34,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", help="experiment id (e0..e12), 'all', or 'list'")
     parser.add_argument("--scale", choices=["smoke", "normal", "full"], default="normal")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend", default=None,
+        help="kernel backend driving every solve (repro.registry "
+             "kind 'kernel_backend')",
+    )
+    parser.add_argument(
+        "--substrate", default=None,
+        help="faithful-mode MPC substrate (kind 'mpc_substrate')",
+    )
     args = parser.parse_args(argv)
+
+    config = None
+    if args.backend is not None or args.substrate is not None:
+        from repro.api import SolverConfig
+
+        try:
+            config = SolverConfig(backend=args.backend, substrate=args.substrate)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
 
     _ensure_loaded()
     if args.experiment == "list":
@@ -43,7 +68,7 @@ def main(argv: list[str] | None = None) -> int:
         if exp_id not in REGISTRY:
             print(f"unknown experiment {exp_id!r}; try 'list'", file=sys.stderr)
             return 2
-        run_and_save(exp_id, scale=args.scale, seed=args.seed)
+        run_and_save(exp_id, scale=args.scale, seed=args.seed, config=config)
     return 0
 
 

@@ -21,9 +21,12 @@ from __future__ import annotations
 import importlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Literal
+from typing import TYPE_CHECKING, Callable, Literal, Optional
 
 from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import SolverConfig
 
 __all__ = [
     "Scale",
@@ -108,9 +111,36 @@ def get_experiment(exp_id: str) -> ExperimentSpec:
         ) from None
 
 
-def run_experiment(exp_id: str, *, scale: Scale = "normal", seed: int = 0) -> Table:
+def run_experiment(
+    exp_id: str,
+    *,
+    scale: Scale = "normal",
+    seed: int = 0,
+    config: Optional["SolverConfig"] = None,
+) -> Table:
+    """Run one experiment, optionally under an engine configuration.
+
+    ``config`` is the harness's driver selection: when given, the run
+    executes inside an activated :class:`repro.api.Engine`, so the
+    config's kernel backend and MPC substrate drive every solve the
+    experiment performs (the scoped replacement for exporting
+    ``REPRO_KERNEL_BACKEND`` / ``REPRO_MPC_SUBSTRATE`` around the
+    harness).  The selection is recorded as a table note so persisted
+    results say which engine produced them.
+    """
     spec = get_experiment(exp_id)
-    table = spec.run(scale=scale, seed=seed)
+    if config is None:
+        table = spec.run(scale=scale, seed=seed)
+    else:
+        from repro.api import Engine
+
+        with Engine(config):
+            table = spec.run(scale=scale, seed=seed)
+        if config.backend is not None or config.substrate is not None:
+            table.add_note(
+                f"engine: backend={config.backend or 'active'} "
+                f"substrate={config.substrate or 'active'}"
+            )
     table.add_note(f"claim: {spec.claim}")
     table.add_note(f"scale={scale} seed={seed}")
     return table
@@ -138,9 +168,10 @@ def run_and_save(
     seed: int = 0,
     results_dir: Path | None = None,
     echo: bool = True,
+    config: Optional["SolverConfig"] = None,
 ) -> Table:
     """Run one experiment and persist its table (markdown + JSON)."""
-    table = run_experiment(exp_id, scale=scale, seed=seed)
+    table = run_experiment(exp_id, scale=scale, seed=seed, config=config)
     out_dir = results_dir or default_results_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / f"{exp_id}.md").write_text(table.to_markdown() + "\n")

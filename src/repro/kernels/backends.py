@@ -17,6 +17,7 @@ See DESIGN.md §6.
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from typing import Callable, Dict, Optional, Union
 
@@ -317,12 +318,35 @@ def get_backend() -> KernelBackend:
     """The active backend (initialized from ``REPRO_KERNEL_BACKEND``)."""
     global _ACTIVE
     if _ACTIVE is None:
+        if ENV_VAR in os.environ:
+            warnings.warn(
+                f"selecting the kernel backend via the {ENV_VAR} environment "
+                "variable is deprecated; pass "
+                "repro.api.SolverConfig(backend=...) to an Engine instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         _ACTIVE = _resolve(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
     return _ACTIVE
 
 
+def _set_backend_impl(name_or_backend: Union[str, KernelBackend]) -> KernelBackend:
+    """Install a backend globally; returns the previous one (no
+    deprecation warning — the :class:`repro.api.Engine` activation path
+    and :func:`use_backend` scoping route through here)."""
+    global _ACTIVE
+    previous = get_backend()
+    _ACTIVE = _resolve(name_or_backend)
+    return previous
+
+
 def set_backend(name_or_backend: Union[str, KernelBackend]) -> KernelBackend:
-    """Install a backend globally; returns the previous one.
+    """Deprecated: install a backend globally; returns the previous one.
+
+    Deprecated in favour of :class:`repro.api.SolverConfig` — construct
+    ``SolverConfig(backend=...)`` and hand it to an
+    :class:`repro.api.Engine`, which scopes the selection to its
+    lifecycle instead of mutating process state forever.
 
     The active backend is **process-global, not thread-local**: do not
     switch backends while runs are stepping on other threads, or those
@@ -331,21 +355,24 @@ def set_backend(name_or_backend: Union[str, KernelBackend]) -> KernelBackend:
     with a third-party backend that isn't.)  Pick the backend before
     fanning out concurrent work.
     """
-    global _ACTIVE
-    previous = get_backend()
-    _ACTIVE = _resolve(name_or_backend)
-    return previous
+    warnings.warn(
+        "repro.kernels.set_backend is deprecated; select the backend via "
+        "repro.api.SolverConfig(backend=...) and an Engine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_backend_impl(name_or_backend)
 
 
 @contextmanager
 def use_backend(name_or_backend: Union[str, KernelBackend]):
     """Context manager: run a block under a specific backend.
 
-    Process-global, like :func:`set_backend` — see its threading
-    caveat.
+    Process-global while active, like :func:`set_backend` — see its
+    threading caveat.
     """
-    previous = set_backend(name_or_backend)
+    previous = _set_backend_impl(name_or_backend)
     try:
         yield get_backend()
     finally:
-        set_backend(previous)
+        _set_backend_impl(previous)

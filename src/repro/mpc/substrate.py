@@ -22,6 +22,7 @@ variable, or :func:`set_substrate` / :func:`use_substrate` at runtime.
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from typing import Callable, Dict
 
@@ -77,31 +78,54 @@ def get_substrate() -> str:
     """The active substrate name (initialized from ``REPRO_MPC_SUBSTRATE``)."""
     global _ACTIVE
     if _ACTIVE is None:
+        if ENV_VAR in os.environ:
+            warnings.warn(
+                f"selecting the MPC substrate via the {ENV_VAR} environment "
+                "variable is deprecated; pass "
+                "repro.api.SolverConfig(substrate=...) to an Engine instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         _ACTIVE = _validate(os.environ.get(ENV_VAR, DEFAULT_SUBSTRATE))
     return _ACTIVE
 
 
-def set_substrate(name: str) -> str:
-    """Install a substrate globally; returns the previous one.
-
-    Process-global like :func:`repro.kernels.set_backend` (same
-    threading caveat): pick the substrate before fanning out
-    concurrent cluster construction.
-    """
+def _set_substrate_impl(name: str) -> str:
+    """Install a substrate globally; returns the previous one (no
+    deprecation warning — the :class:`repro.api.Engine` activation path
+    and :func:`use_substrate` scoping route through here)."""
     global _ACTIVE
     previous = get_substrate()
     _ACTIVE = _validate(name)
     return previous
 
 
+def set_substrate(name: str) -> str:
+    """Deprecated: install a substrate globally; returns the previous one.
+
+    Deprecated in favour of :class:`repro.api.SolverConfig` — construct
+    ``SolverConfig(substrate=...)`` and hand it to an
+    :class:`repro.api.Engine`.  Process-global like the kernel-backend
+    selection (same threading caveat): pick the substrate before
+    fanning out concurrent cluster construction.
+    """
+    warnings.warn(
+        "repro.mpc.set_substrate is deprecated; select the substrate via "
+        "repro.api.SolverConfig(substrate=...) and an Engine",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_substrate_impl(name)
+
+
 @contextmanager
 def use_substrate(name: str):
     """Context manager: build clusters on a specific substrate."""
-    previous = set_substrate(name)
+    previous = _set_substrate_impl(name)
     try:
         yield get_substrate()
     finally:
-        set_substrate(previous)
+        _set_substrate_impl(previous)
 
 
 def make_cluster(

@@ -1,0 +1,198 @@
+"""One registry protocol across every pluggable implementation axis.
+
+Three extension points grew their own registries over the life of the
+repository: kernel backends (:mod:`repro.kernels.backends`), MPC
+substrates (:mod:`repro.mpc.substrate`), and — implicitly, as a set of
+stage classes — the pipeline stages (:mod:`repro.core.pipeline`).
+Each had its own ``register_*``/``available_*`` spelling, which is
+exactly the fragmentation the :mod:`repro.api` façade removes: this
+module unifies them behind a single ``register(kind, name, factory)``
+/ ``resolve(kind, name)`` / ``available(kind)`` protocol (DESIGN.md
+§10).
+
+The per-domain registries remain the storage — registering through
+either spelling is visible through the other, so existing third-party
+``register_backend``/``register_substrate`` calls keep working — but
+new code (and :class:`repro.api.SolverConfig` validation) speaks only
+this protocol.
+
+Kinds
+-----
+``"kernel_backend"``
+    ``factory()`` → a :class:`repro.kernels.KernelBackend` instance.
+    ``resolve`` returns the *instantiated* backend.
+``"mpc_substrate"``
+    ``factory(n_machines, words_per_machine, strict)`` → a cluster.
+    ``resolve`` returns the factory itself (clusters are built per
+    solve, not per registration).
+``"pipeline_stage"``
+    ``factory(config)`` → a :class:`repro.core.pipeline.PipelineStage`
+    built from a :class:`repro.api.SolverConfig`.  ``resolve`` returns
+    the factory; :meth:`repro.api.SolverConfig.build_stages` applies
+    it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+__all__ = [
+    "KINDS",
+    "register",
+    "resolve",
+    "available",
+    "register_stage",
+]
+
+
+# ----------------------------------------------------------------------
+# Pipeline-stage factories (the one domain that did not have an explicit
+# registry before): name -> factory(config) -> PipelineStage.
+# ----------------------------------------------------------------------
+_STAGE_FACTORIES: Dict[str, Callable[[Any], Any]] = {}
+
+
+def register_stage(name: str, factory: Callable[[Any], Any]) -> None:
+    """Register a pipeline-stage factory under ``name`` (last write
+    wins).  ``factory(config)`` receives the active
+    :class:`repro.api.SolverConfig` and returns a stage object."""
+    _STAGE_FACTORIES[name] = factory
+
+
+def _register_default_stages() -> None:
+    from repro.core.pipeline import (
+        BoostStage,
+        FractionalStage,
+        RepairStage,
+        RoundingStage,
+    )
+
+    register_stage(
+        "fractional",
+        lambda config: FractionalStage(
+            alpha=config.alpha,
+            lam=config.lam,
+            options=config.mpc_options(),
+        ),
+    )
+    register_stage(
+        "rounding",
+        lambda config: RoundingStage(copies=config.rounding_copies),
+    )
+    register_stage("repair", lambda config: RepairStage())
+    register_stage(
+        "boost",
+        lambda config: BoostStage(
+            epsilon=config.boost_epsilon, mode=config.boost_mode
+        ),
+    )
+
+
+_register_default_stages()
+
+
+# ----------------------------------------------------------------------
+# Domain adapters: each kind maps onto its backing registry.
+# ----------------------------------------------------------------------
+def _backend_register(name: str, factory: Callable[..., Any]) -> None:
+    from repro.kernels.backends import register_backend
+
+    register_backend(name, factory)
+
+
+def _backend_names() -> list[str]:
+    from repro.kernels.backends import available_backends
+
+    return available_backends()
+
+
+def _backend_resolve(name: str) -> Any:
+    from repro.kernels.backends import _resolve
+
+    return _resolve(name)
+
+
+def _substrate_register(name: str, factory: Callable[..., Any]) -> None:
+    from repro.mpc.substrate import register_substrate
+
+    register_substrate(name, factory)
+
+
+def _substrate_names() -> list[str]:
+    from repro.mpc.substrate import available_substrates
+
+    return available_substrates()
+
+
+def _substrate_resolve(name: str) -> Any:
+    from repro.mpc.substrate import _FACTORIES, _validate
+
+    return _FACTORIES[_validate(name)]
+
+
+def _stage_names() -> list[str]:
+    return sorted(_STAGE_FACTORIES)
+
+
+def _stage_resolve(name: str) -> Any:
+    return _STAGE_FACTORIES[name]
+
+
+_DOMAINS: Dict[str, dict[str, Callable[..., Any]]] = {
+    "kernel_backend": {
+        "register": _backend_register,
+        "names": _backend_names,
+        "resolve": _backend_resolve,
+    },
+    "mpc_substrate": {
+        "register": _substrate_register,
+        "names": _substrate_names,
+        "resolve": _substrate_resolve,
+    },
+    "pipeline_stage": {
+        "register": register_stage,
+        "names": _stage_names,
+        "resolve": _stage_resolve,
+    },
+}
+
+KINDS = tuple(sorted(_DOMAINS))
+
+
+def _domain(kind: str) -> dict[str, Callable[..., Any]]:
+    try:
+        return _DOMAINS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown registry kind {kind!r}; kinds: {list(KINDS)}"
+        ) from None
+
+
+def register(kind: str, name: str, factory: Callable[..., Any]) -> None:
+    """Register ``factory`` under ``name`` in the ``kind`` domain.
+
+    Last write wins, matching every per-domain registry's historical
+    behaviour.  The factory signature depends on the kind (module
+    docstring).
+    """
+    _domain(kind)["register"](name, factory)
+
+
+def available(kind: str) -> list[str]:
+    """Sorted registered names for ``kind``."""
+    return sorted(_domain(kind)["names"]())
+
+
+def resolve(kind: str, name: str):
+    """Resolve ``name`` in the ``kind`` domain.
+
+    Raises ``ValueError`` naming the registered choices when ``name``
+    is unknown — the message :class:`repro.api.SolverConfig` surfaces
+    at validation time.
+    """
+    domain = _domain(kind)
+    if name not in domain["names"]():
+        raise ValueError(
+            f"unknown {kind} {name!r}; available: {available(kind)}"
+        )
+    return domain["resolve"](name)

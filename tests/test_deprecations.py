@@ -1,0 +1,94 @@
+"""The deprecation shims around the pre-Engine configuration surface.
+
+``kernels.set_backend``, ``mpc.set_substrate``, and the
+``REPRO_KERNEL_BACKEND`` / ``REPRO_MPC_SUBSTRATE`` environment reads
+each emit a single :class:`DeprecationWarning` pointing at
+:class:`repro.api.SolverConfig` — and keep their historical behavior
+unchanged.  The supported replacements (``use_backend`` /
+``use_substrate`` scoping and the Engine lifecycle) stay silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import Engine
+from repro.kernels import backends as backends_module
+from repro.kernels import get_backend, set_backend, use_backend
+from repro.mpc import substrate as substrate_module
+from repro.mpc.substrate import get_substrate, set_substrate, use_substrate
+
+
+def test_set_backend_warns_once_and_still_switches():
+    before = get_backend()
+    with pytest.warns(DeprecationWarning, match="SolverConfig") as record:
+        previous = set_backend("reference")
+    try:
+        assert len(record) == 1
+        assert previous is before
+        assert type(get_backend()).__name__ == "ReferenceBackend"
+    finally:
+        backends_module._set_backend_impl(before)
+
+
+def test_set_substrate_warns_once_and_still_switches():
+    before = get_substrate()
+    other = "object" if before != "object" else "columnar"
+    with pytest.warns(DeprecationWarning, match="SolverConfig") as record:
+        previous = set_substrate(other)
+    try:
+        assert len(record) == 1
+        assert previous == before
+        assert get_substrate() == other
+    finally:
+        substrate_module._set_substrate_impl(before)
+
+
+def test_backend_env_var_read_warns(monkeypatch):
+    monkeypatch.setattr(backends_module, "_ACTIVE", None)
+    monkeypatch.setenv(backends_module.ENV_VAR, "reference")
+    with pytest.warns(DeprecationWarning, match=backends_module.ENV_VAR):
+        backend = get_backend()
+    assert type(backend).__name__ == "ReferenceBackend"
+
+
+def test_backend_env_var_absent_does_not_warn(monkeypatch):
+    monkeypatch.setattr(backends_module, "_ACTIVE", None)
+    monkeypatch.delenv(backends_module.ENV_VAR, raising=False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert type(get_backend()).__name__ == "OptimizedBackend"
+
+
+def test_substrate_env_var_read_warns(monkeypatch):
+    monkeypatch.setattr(substrate_module, "_ACTIVE", None)
+    monkeypatch.setenv(substrate_module.ENV_VAR, "object")
+    with pytest.warns(DeprecationWarning, match=substrate_module.ENV_VAR):
+        assert get_substrate() == "object"
+
+
+def test_substrate_env_var_absent_does_not_warn(monkeypatch):
+    monkeypatch.setattr(substrate_module, "_ACTIVE", None)
+    monkeypatch.delenv(substrate_module.ENV_VAR, raising=False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert get_substrate() == substrate_module.DEFAULT_SUBSTRATE
+
+
+def test_scoped_selection_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with use_backend("reference"):
+            assert type(get_backend()).__name__ == "ReferenceBackend"
+        with use_substrate("object"):
+            assert get_substrate() == "object"
+
+
+def test_engine_activation_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with Engine(backend="reference", substrate="object"):
+            assert type(get_backend()).__name__ == "ReferenceBackend"
+            assert get_substrate() == "object"
