@@ -6,14 +6,20 @@ performance regressions of the library itself, orthogonal to the
 scientific tables.
 
 The kernel-backend section benchmarks the shared round kernel
-(DESIGN.md §6) under both registered backends.  Run this module as a
-script to regenerate ``BENCH_kernels.json`` at the repo root::
+(DESIGN.md §6/§11) under every registered backend.  Run this module as
+a script to regenerate ``BENCH_kernels.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py [--scale full]
 
-The JSON records per-size round-kernel timings for the reference
-backend (operation-identical to the seed implementation) and the
-optimized backend, plus a ``solve_allocation_many`` batch timing.
+The JSON records, per size, round-kernel timings for the reference
+backend (operation-identical to the seed implementation), the
+optimized backend, and the fused C ``native`` backend (skipped with a
+recorded reason on hosts without a compiler); a per-primitive
+breakdown (gather / softmax / reduce / scatter vs. the fused round) on
+the largest instance; and a ``solve_allocation_many`` batch timing in
+the serving shape — every instance carries its **own deserialized
+copy** of the same graph, so the batch's structural workspace adoption
+is what is measured, not object-identity caching.
 """
 
 from __future__ import annotations
@@ -38,12 +44,12 @@ if not __package__:  # invoked as a script: self-contained path setup
 from benchmarks._scale import bench_scale
 from repro.baselines.exact import solve_exact
 from repro.core.local_driver import solve_fractional_fixed_tau
-from repro.core.pipeline import solve_allocation_many
+from repro.core.pipeline import solve_allocation, solve_allocation_many
 from repro.core.proportional import ProportionalRun
 from repro.core.sampled import SampledRun
 from repro.graphs.arboricity import core_numbers
 from repro.graphs.generators import union_of_forests
-from repro.kernels import use_backend
+from repro.kernels import backend_availability, use_backend, workspace_for
 from repro.rounding.sampling import round_once
 
 _SIZES = {"smoke": [200], "normal": [200, 2000], "full": [200, 2000, 20000]}
@@ -63,9 +69,12 @@ if pytest is not None:
         benchmark(run.step)
         assert run.rounds_completed > 1
 
-    @pytest.mark.parametrize("backend", ["reference", "optimized"])
+    @pytest.mark.parametrize("backend", ["reference", "optimized", "native"])
     def test_kernel_round_by_backend(benchmark, instance, backend):
         """The round kernel under each registered backend."""
+        reason = backend_availability(backend).get(backend)
+        if reason is not None:
+            pytest.skip(f"backend {backend!r} unavailable: {reason}")
         with use_backend(backend):
             run = ProportionalRun(instance.graph, instance.capacities, 0.1)
             run.step()
@@ -105,8 +114,11 @@ if pytest is not None:
 
 
 # ----------------------------------------------------------------------
-# Script mode: reference vs optimized backend → BENCH_kernels.json
+# Script mode: all registered backends → BENCH_kernels.json
 # ----------------------------------------------------------------------
+_BACKENDS = ("reference", "optimized", "native")
+
+
 def _time_round_kernel(instance, backend: str, rounds: int) -> tuple[float, np.ndarray]:
     """Mean seconds per Algorithm-1 round plus the final β trajectory
     (returned so the harness can assert cross-backend parity)."""
@@ -120,64 +132,263 @@ def _time_round_kernel(instance, backend: str, rounds: int) -> tuple[float, np.n
     return elapsed / rounds, run.beta_exp.copy()
 
 
-def _time_batch(instances, backend: str, repeats: int = 3) -> float:
+def _time_batch(make_batch, backend: str, repeats: int = 5) -> float:
     """Best-of-``repeats`` batch wall time (min is the standard
-    noise-robust estimator for short benchmarks)."""
+    noise-robust estimator for short benchmarks).
+
+    ``make_batch`` builds a **fresh** instance list per repeat — each
+    instance with its own graph copy, the deserialized-request serving
+    shape — so the timing includes exactly one structural workspace
+    build plus adoption by the rest of the batch, never warm
+    object-identity hits from a previous repeat.  Generator cost stays
+    outside the timer.
+    """
     best = float("inf")
     with use_backend(backend):
         for _ in range(repeats):
+            instances = make_batch()
             t0 = time.perf_counter()
             solve_allocation_many(instances, 0.2, seed=0, boost=False)
             best = min(best, time.perf_counter() - t0)
     return best
 
 
+def _time_batch_individual(make_batch, backend: str, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall time for the *unbatched* shape: one
+    :func:`solve_allocation` call per instance, each fresh graph copy
+    building its own workspace — exactly what the batched path's
+    structural adoption amortizes away.  Seeds mirror the batch path's
+    per-position spawn so both shapes do identical solve work."""
+    from repro.utils.rng import spawn
+
+    best = float("inf")
+    with use_backend(backend):
+        for _ in range(repeats):
+            instances = make_batch()
+            streams = spawn(0, len(instances))
+            t0 = time.perf_counter()
+            for inst, stream in zip(instances, streams):
+                solve_allocation(inst, 0.2, seed=stream, boost=False)
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_workspace_setup(batch_n: int, repeats: int = 20) -> dict:
+    """Cold workspace build vs structural adoption, per graph copy.
+
+    The deterministic micro-number behind the batch fix: building a
+    fresh copy's workspace materializes ``slot_owner`` / ``reduceat``
+    offsets on both CSR sides, while :func:`transplant_workspace`
+    adopts the parent's layouts after one ``indptr`` equality check.
+    """
+    from repro.kernels import transplant_workspace, workspace_for
+
+    def materialize(ws):
+        for side in (ws.left, ws.right):
+            side.slot_owner, side.reduce_starts, side.degrees  # noqa: B018
+
+    parent_inst = union_of_forests(batch_n, batch_n, 3, capacity=2, seed=7)
+    parent = workspace_for(parent_inst.graph)
+    materialize(parent)
+
+    build = float("inf")
+    adopt = float("inf")
+    for _ in range(repeats):
+        fresh = union_of_forests(batch_n, batch_n, 3, capacity=2, seed=7)
+        t0 = time.perf_counter()
+        materialize(workspace_for(fresh.graph))
+        build = min(build, time.perf_counter() - t0)
+
+        fresh = union_of_forests(batch_n, batch_n, 3, capacity=2, seed=7)
+        t0 = time.perf_counter()
+        materialize(transplant_workspace(fresh.graph, parent))
+        adopt = min(adopt, time.perf_counter() - t0)
+    return {
+        "build_ms_per_graph": round(build * 1e3, 4),
+        "adopt_ms_per_graph": round(adopt * 1e3, 4),
+        "setup_speedup": round(build / adopt, 1) if adopt > 0 else None,
+    }
+
+
+def _time_primitives(instance, backend: str, repeats: int = 200) -> dict:
+    """Per-primitive breakdown of one round on ``instance``: the four
+    composed primitives (gather / softmax / reduce / scatter) next to
+    the backend's fused ``proportional_round``.  For the numpy
+    backends fused ≈ the sum of the parts; for the native backend the
+    fused C pass is the point of the comparison."""
+    ws = workspace_for(instance.graph)
+    scale = float(np.log1p(0.1))
+    rng = np.random.default_rng(0)
+    beta = rng.integers(0, 30, size=ws.n_right).astype(np.int64)
+    with use_backend(backend) as be:
+        e_slot = be.gather_as_float(beta, ws.left_adj, row_buf=ws.beta_f64)
+        x = be.segment_softmax_shifted(
+            e_slot.copy(), ws.left.indptr, scale, layout=ws.left
+        )
+
+        def _best(fn) -> float:
+            fn()  # warm
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        timings = {
+            "gather": _best(
+                lambda: be.gather_as_float(beta, ws.left_adj, row_buf=ws.beta_f64)
+            ),
+            "softmax": _best(
+                lambda: be.segment_softmax_shifted(
+                    e_slot, ws.left.indptr, scale, layout=ws.left
+                )
+            ),
+            "reduce": _best(
+                lambda: be.segment_sum(x, ws.left.indptr, layout=ws.left)
+            ),
+            "scatter": _best(
+                lambda: be.scatter_add(ws.left_adj, weights=x, minlength=ws.n_right)
+            ),
+            "fused_round": _best(
+                lambda: be.proportional_round(ws, beta, scale)
+            ),
+        }
+    return {k: round(v * 1e3, 5) for k, v in timings.items()}
+
+
 def run_backend_benchmarks(scale: str) -> dict:
-    """Benchmark both backends; returns the BENCH_kernels.json payload."""
+    """Benchmark every registered backend; returns the
+    BENCH_kernels.json payload.  Parity gates recording: the numpy
+    backends must match bit-for-bit, and the native backend must land
+    on the identical final integer β trajectory (its row sums differ
+    from numpy's by ulps — DESIGN.md §11 — but the integer exponent
+    dynamics must not)."""
+    availability = backend_availability()
+    usable = [b for b in _BACKENDS if availability.get(b) is None]
+
     sizes = _SIZES[scale]
     rounds = 40
     per_size = []
     for n in sizes:
         instance = union_of_forests(n, n, 4, capacity=2, seed=0)
-        t_ref, beta_ref = _time_round_kernel(instance, "reference", rounds)
-        t_opt, beta_opt = _time_round_kernel(instance, "optimized", rounds)
-        if not np.array_equal(beta_ref, beta_opt):  # must survive python -O
-            raise RuntimeError(
-                f"backend parity violated on n={n}: refusing to record timings"
+        timings: dict[str, float] = {}
+        betas: dict[str, np.ndarray] = {}
+        for backend in usable:
+            timings[backend], betas[backend] = _time_round_kernel(
+                instance, backend, rounds
             )
-        per_size.append(
-            {
-                "n_left": n,
-                "n_right": n,
-                "n_edges": instance.graph.n_edges,
-                "rounds_timed": rounds,
-                "reference_ms_per_round": round(t_ref * 1e3, 4),
-                "optimized_ms_per_round": round(t_opt * 1e3, 4),
-                "speedup": round(t_ref / t_opt, 3),
-            }
+        if not np.array_equal(betas["reference"], betas["optimized"]):
+            raise RuntimeError(  # must survive python -O
+                f"numpy backend parity violated on n={n}: refusing to record"
+            )
+        if "native" in betas and not np.array_equal(
+            betas["native"], betas["reference"]
+        ):
+            raise RuntimeError(
+                f"native β trajectory diverged on n={n}: refusing to record"
+            )
+        row = {
+            "n_left": n,
+            "n_right": n,
+            "n_edges": instance.graph.n_edges,
+            "rounds_timed": rounds,
+            "reference_ms_per_round": round(timings["reference"] * 1e3, 4),
+            "optimized_ms_per_round": round(timings["optimized"] * 1e3, 4),
+            "native_ms_per_round": (
+                round(timings["native"] * 1e3, 4) if "native" in timings else None
+            ),
+            "optimized_speedup": round(
+                timings["reference"] / timings["optimized"], 3
+            ),
+            # legacy key: reference/optimized ratio, kept for diffability
+            "speedup": round(timings["reference"] / timings["optimized"], 3),
+        }
+        if "native" in timings:
+            row["native_speedup_vs_reference"] = round(
+                timings["reference"] / timings["native"], 3
+            )
+            row["native_speedup_vs_optimized"] = round(
+                timings["optimized"] / timings["native"], 3
+            )
+        per_size.append(row)
+
+    largest_instance = union_of_forests(sizes[-1], sizes[-1], 4, capacity=2, seed=0)
+    breakdown = {
+        backend: _time_primitives(
+            largest_instance, backend, repeats={"smoke": 50, "normal": 100, "full": 200}[scale]
         )
+        for backend in usable
+    }
 
     batch_n = {"smoke": 300, "normal": 800, "full": 1500}[scale]
-    batch = [union_of_forests(batch_n, batch_n, 3, capacity=2, seed=s) for s in range(6)]
-    batch_ref = _time_batch(batch, "reference")
-    batch_opt = _time_batch(batch, "optimized")
+
+    def make_batch():
+        # Six fresh graph copies per repeat: the deserialized-request
+        # shape (equal CSR structure, distinct objects, varying
+        # capacities) that the batch path's structural adoption serves.
+        return [
+            union_of_forests(batch_n, batch_n, 3, capacity=2 + (i % 3), seed=7)
+            for i in range(6)
+        ]
+
+    batch_timings = {b: _time_batch(make_batch, b) for b in usable}
+    individual = _time_batch_individual(make_batch, "optimized")
 
     largest = per_size[-1]
-    return {
-        "benchmark": "round kernel: reference vs optimized backend",
+    batch_section = {
+        "batch_size": 6,
+        "instance_n": batch_n,
+        "shape": "distinct graph copies per instance (deserialized requests)",
+        "reference_seconds": round(batch_timings["reference"], 4),
+        "optimized_seconds": round(batch_timings["optimized"], 4),
+        "native_seconds": (
+            round(batch_timings["native"], 4) if "native" in batch_timings else None
+        ),
+        "speedup": round(
+            batch_timings["reference"] / batch_timings["optimized"], 3
+        ),
+        # The number the batch entry point owns: batched vs one
+        # solve_allocation call per instance on the same fresh copies
+        # (default backend).  End-to-end batch time is dominated by
+        # the backend-independent sampling/rounding/repair stages, so
+        # cross-backend batch ratios hover near 1; this ratio isolates
+        # what batching itself amortizes (structural workspace
+        # adoption across equal-but-distinct graphs).
+        "individual_seconds": round(individual, 4),
+        "batched_vs_individual_speedup": round(
+            individual / batch_timings["optimized"], 3
+        ),
+        # Deterministic micro-number for the adoption itself: per-graph
+        # workspace setup, cold build vs transplant from a batch parent.
+        "workspace_setup": _time_workspace_setup(batch_n),
+    }
+    if "native" in batch_timings:
+        batch_section["native_speedup"] = round(
+            batch_timings["reference"] / batch_timings["native"], 3
+        )
+
+    payload = {
+        "benchmark": "round kernel: reference vs optimized vs native backend",
         "scale": scale,
+        "backend_availability": availability,
         "round_kernel": per_size,
-        "solve_allocation_many": {
-            "batch_size": len(batch),
-            "instance_n": batch_n,
-            "reference_seconds": round(batch_ref, 4),
-            "optimized_seconds": round(batch_opt, 4),
-            "speedup": round(batch_ref / batch_opt, 3),
-        },
-        "largest_instance_speedup": largest["speedup"],
+        "primitive_breakdown_ms": breakdown,
+        "solve_allocation_many": batch_section,
+        # Headline number: fused native C pass vs the seed-identical
+        # reference backend, per round, on the largest instance.
+        "largest_instance_speedup": largest.get(
+            "native_speedup_vs_reference", largest["optimized_speedup"]
+        ),
+        "largest_instance_optimized_speedup": largest["optimized_speedup"],
         "optimized_beats_seed": largest["optimized_ms_per_round"]
         < largest["reference_ms_per_round"],
     }
+    if "native_speedup_vs_optimized" in largest:
+        payload["largest_instance_native_vs_optimized"] = largest[
+            "native_speedup_vs_optimized"
+        ]
+    return payload
 
 
 def main(argv=None) -> None:

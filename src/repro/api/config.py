@@ -95,13 +95,24 @@ class SolverConfig:
         object.__setattr__(
             self, "epsilon", check_fraction(self.epsilon, "epsilon", inclusive_high=0.25)
         )
-        if self.backend is not None and self.backend not in registry.available(
-            "kernel_backend"
-        ):
-            raise ValueError(
-                f"unknown kernel backend {self.backend!r}; "
-                f"available: {registry.available('kernel_backend')}"
-            )
+        if self.backend is not None:
+            if self.backend not in registry.available("kernel_backend"):
+                raise ValueError(
+                    f"unknown kernel backend {self.backend!r}; "
+                    f"available: {registry.available('kernel_backend')}"
+                )
+            # Eager validation extends to host capability: a backend can
+            # be registered yet unusable here (the native backend needs
+            # a C compiler, DESIGN.md §11) — fail at config construction
+            # with the actionable reason instead of at first solve.
+            from repro.kernels.backends import backend_availability
+
+            reason = backend_availability(self.backend).get(self.backend)
+            if reason is not None:
+                raise ValueError(
+                    f"kernel backend {self.backend!r} is registered but "
+                    f"unavailable on this host: {reason}"
+                )
         if self.substrate is not None and self.substrate not in registry.available(
             "mpc_substrate"
         ):

@@ -92,7 +92,12 @@ def _engine_from_args(args: argparse.Namespace, *, session_prefix: str = ""):
     except ValueError as exc:
         bad_engine_name = (
             backend is not None
-            and backend not in registry.available("kernel_backend")
+            and (
+                backend not in registry.available("kernel_backend")
+                # registered but unusable on this host (e.g. "native"
+                # without a C compiler) is an engine-selection problem
+                or "unavailable on this host" in str(exc)
+            )
         ) or (
             substrate is not None
             and substrate not in registry.available("mpc_substrate")
@@ -106,7 +111,8 @@ def _engine_from_args(args: argparse.Namespace, *, session_prefix: str = ""):
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default=None,
-        help="kernel backend (see repro.kernels.available_backends)",
+        help="kernel backend: reference|optimized|native (native needs a "
+        "C compiler; see repro.kernels.backend_availability)",
     )
     parser.add_argument(
         "--substrate", default=None,

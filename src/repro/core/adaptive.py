@@ -122,16 +122,22 @@ def reconstruct_round_thresholds(
     dec = decisions == -1
     keep = decisions == 0
 
-    # d = +1: any k ≤ k_up_increase works; take the largest admissible
-    # value clamped into [K_MIN, K_MAX] (Lemma 13 uses 1/4, which is
-    # admissible exactly when k_up_increase ≥ 1/4 — the same condition).
+    # d = +1: any k ≤ k_up_increase works; Lemma 13 uses 1/4, which is
+    # admissible exactly when k_up_increase ≥ 1/4 — the same condition.
+    # Return K_MIN itself, the *interior* end of the admissible
+    # interval, not the boundary value k_up_increase: the boundary sits
+    # exactly where replaying ``alloc ≤ C/(1+kε)`` round-trips through
+    # floating-point division, and an ulp of rounding (or a
+    # tolerance-tier backend's ulp-different alloc, DESIGN.md §11)
+    # would flip the replayed decision.  K_MIN leaves the maximal
+    # margin while witnessing the same decision.
     ok = inc & (k_up_increase >= K_MIN)
-    k[ok] = np.minimum(K_MAX, k_up_increase[ok])
+    k[ok] = K_MIN
     feasible[inc & ~(k_up_increase >= K_MIN)] = False
 
     # d = −1 symmetric.
     ok = dec & (k_up_decrease >= K_MIN)
-    k[ok] = np.minimum(K_MAX, k_up_decrease[ok])
+    k[ok] = K_MIN
     feasible[dec & ~(k_up_decrease >= K_MIN)] = False
 
     # d = 0: need some k in (k_low_keep, K_MAX]; pick K_MAX when valid.

@@ -37,7 +37,12 @@ from repro.boosting.boost import BoostResult, boost_allocation
 from repro.core.fractional import FractionalAllocation
 from repro.core.mpc_driver import MPCResult, solve_allocation_mpc
 from repro.graphs.instances import AllocationInstance
-from repro.kernels import RoundWorkspace, resolve_workspace, workspace_for
+from repro.kernels import (
+    RoundWorkspace,
+    resolve_workspace,
+    transplant_workspace,
+    workspace_for,
+)
 from repro.rounding.repair import greedy_fill
 from repro.rounding.sampling import RoundingOutcome, round_best_of
 from repro.utils.rng import spawn
@@ -450,10 +455,19 @@ def solve_allocation_many(
     The first step toward the heavy-traffic serving story (ROADMAP):
     one call amortizes per-graph setup across the batch.  Each
     instance's :class:`~repro.kernels.RoundWorkspace` is resolved once
-    up front and handed to every stage, so instances that share a
-    graph object (the common serving shape: one graph, many capacity
-    or parameter variations) share cached slot-owner indices, reduceat
-    offsets and scratch buffers instead of rebuilding them per solve.
+    up front and handed to every stage, and workspaces are shared at
+    two levels:
+
+    * instances sharing a graph *object* (one graph, many capacity or
+      parameter variations) share the graph's cached workspace as
+      before;
+    * instances whose graphs are **equal but distinct objects** — the
+      real serving shape, where every request deserializes its own
+      copy of the same graph — adopt the structure of an earlier batch
+      member via :func:`~repro.kernels.transplant_workspace`, so
+      cached slot-owner indices and ``reduceat`` offsets are built
+      once per distinct CSR structure rather than once per instance.
+
     Seeds are spawned per batch *position* from ``seed``: results are
     reproducible for a fixed ordering (entry ``i`` equals a single
     :func:`solve_allocation` call with ``spawn(seed, n)[i]``), but
@@ -470,14 +484,27 @@ def solve_allocation_many(
         )
     instances = list(instances)
     streams = spawn(seed, len(instances))
+    # First workspace seen per cheap structural signature; candidates
+    # for layout adoption by later equal-but-distinct graphs.  The
+    # signature only gates the attempt — transplant_workspace verifies
+    # actual indptr equality per side before adopting anything.
+    seen: dict[tuple[int, int, int], RoundWorkspace] = {}
     results: list[PipelineResult] = []
     for instance, stream in zip(instances, streams):
+        graph = instance.graph
+        sig = (graph.n_left, graph.n_right, graph.n_edges)
+        parent = seen.get(sig)
+        if parent is None:
+            ws = workspace_for(graph)
+        else:
+            ws = transplant_workspace(graph, parent)
+        seen.setdefault(sig, ws)
         results.append(
             solve_allocation(
                 instance,
                 epsilon,
                 seed=stream,
-                workspace=workspace_for(instance.graph),
+                workspace=ws,
                 **kwargs,
             )
         )

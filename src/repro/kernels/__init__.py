@@ -23,13 +23,22 @@ implementations:
   in the identical order, but driven off cached per-graph invariants
   (slot-owner gather indices instead of ``np.repeat``, cached
   ``reduceat`` offsets, preallocated per-edge scratch buffers held in
-  a :class:`RoundWorkspace`).
+  a :class:`RoundWorkspace`);
+* ``"native"`` — a C implementation (compiled on demand with the
+  system compiler, loaded via ctypes) that fuses the whole round into
+  one pass over the CSR arrays (:mod:`repro.kernels.native`,
+  DESIGN.md §11).  Registered everywhere but *available* only on
+  hosts with a C compiler — :func:`backend_availability` reports the
+  reason when it is not.
 
-Because both backends perform the same FP operations in the same
-order, trajectories are bit-identical — the parity tests in
-``tests/test_kernel_backends.py`` assert this exactly.
+The two numpy backends perform the same FP operations in the same
+order, so their trajectories are bit-identical — the parity tests in
+``tests/test_kernel_backends.py`` assert this exactly.  The native
+backend is bit-identical for order-independent primitives and agrees
+to a documented tolerance wherever fusion folds row sums sequentially
+(DESIGN.md §11 parity tiers).
 
-See DESIGN.md §6 for the architecture.
+See DESIGN.md §6 and §11 for the architecture.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from repro.kernels.backends import (
     OptimizedBackend,
     ReferenceBackend,
     available_backends,
+    backend_availability,
     get_backend,
     register_backend,
     set_backend,
@@ -58,6 +68,7 @@ __all__ = [
     "ReferenceBackend",
     "OptimizedBackend",
     "available_backends",
+    "backend_availability",
     "get_backend",
     "set_backend",
     "use_backend",

@@ -7,11 +7,22 @@ may differ in how much they cache and reuse, never in the arithmetic.
 That is what keeps β trajectories bit-identical across backends and
 makes the optimized path a safe default.
 
-Selection: ``REPRO_KERNEL_BACKEND=reference|optimized`` in the
-environment, or :func:`set_backend` / :func:`use_backend` at runtime.
-The default is ``"optimized"``.
+Two tiers of that contract since the native backend (DESIGN.md §11):
+the numpy backends (``reference``/``optimized``) are bit-identical to
+each other, while the C ``native`` backend is bit-identical for
+order-independent primitives (scatter, max, the exponentials) and
+agrees to a few ulps wherever fusion folds row sums sequentially
+instead of numpy's SIMD/pairwise order — the parity suite pins both
+tiers.
 
-See DESIGN.md §6.
+Selection: ``REPRO_KERNEL_BACKEND=reference|optimized|native`` in the
+environment, or :func:`set_backend` / :func:`use_backend` at runtime.
+The default is ``"optimized"``.  Backends can be *registered yet
+unavailable* on a host (``native`` needs a C compiler):
+:func:`backend_availability` reports the reason, and resolving an
+unavailable backend raises it.
+
+See DESIGN.md §6 and §11.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ __all__ = [
     "OptimizedBackend",
     "register_backend",
     "available_backends",
+    "backend_availability",
     "get_backend",
     "set_backend",
     "use_backend",
@@ -183,6 +195,41 @@ class KernelBackend:
         """
         return np.bincount(index, weights=weights, minlength=minlength)
 
+    # -- the fused round hook -------------------------------------------
+    def proportional_round(
+        self,
+        workspace,
+        beta_exp: np.ndarray,
+        scale: float,
+        *,
+        left_units: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One evaluation of the proportional-split round.
+
+        The backend-level hook behind
+        :func:`repro.kernels.rounds.proportional_round` (which carries
+        the public contract).  The default implementation composes the
+        four segment primitives — gather, shifted softmax, optional
+        unit scaling, scatter — so the numpy backends stay
+        operation-identical to the historical pipeline; the native
+        backend overrides it with one fused C pass over the CSR
+        arrays (DESIGN.md §11).
+        """
+        ws = workspace
+        e_slot = self.gather_as_float(beta_exp, ws.left_adj, row_buf=ws.beta_f64)
+        # The gather above hands us a fresh per-slot array, so the
+        # softmax may compute through it in place.
+        x = self.segment_softmax_shifted(
+            e_slot, ws.left.indptr, scale, layout=ws.left, mutate_input=True
+        )
+        if left_units is not None:
+            units_slot = self.gather(
+                np.asarray(left_units, dtype=np.float64), ws.edge_u
+            )
+            np.multiply(x, units_slot, out=x)
+        alloc = self.scatter_add(ws.left_adj, weights=x, minlength=ws.n_right)
+        return x, alloc
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -284,21 +331,86 @@ class OptimizedBackend(KernelBackend):
 # Registry
 # ----------------------------------------------------------------------
 _FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_PROBES: Dict[str, Callable[[], "tuple[bool, Optional[str]]"]] = {}
 _ACTIVE: Optional[KernelBackend] = None
 
 
-def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
-    """Register a backend factory under ``name`` (last write wins)."""
+def register_backend(
+    name: str,
+    factory: Callable[[], KernelBackend],
+    *,
+    availability: Optional[Callable[[], "tuple[bool, Optional[str]]"]] = None,
+) -> None:
+    """Register a backend factory under ``name`` (last write wins).
+
+    ``availability`` optionally probes whether the backend can work on
+    this host without instantiating it, returning ``(ok, reason)`` —
+    the degradation contract for backends with system requirements
+    (the native backend needs a C compiler, DESIGN.md §11).  Backends
+    without a probe are assumed always available.
+    """
     _FACTORIES[name] = factory
+    if availability is not None:
+        _PROBES[name] = availability
+    else:
+        _PROBES.pop(name, None)
+
+
+def _native_factory() -> KernelBackend:
+    # Lazy import: neither importing this module nor listing backends
+    # compiles anything; the build happens at first resolution.
+    from repro.kernels.native import NativeBackend
+
+    return NativeBackend()
+
+
+def _native_probe() -> "tuple[bool, Optional[str]]":
+    from repro.kernels.native import native_availability
+
+    return native_availability()
 
 
 register_backend("reference", ReferenceBackend)
 register_backend("optimized", OptimizedBackend)
+register_backend("native", _native_factory, availability=_native_probe)
 
 
-def available_backends() -> list[str]:
-    """Registered backend names."""
-    return sorted(_FACTORIES)
+def available_backends(*, usable_only: bool = False) -> list[str]:
+    """Registered backend names.
+
+    ``usable_only=True`` drops backends whose availability probe fails
+    on this host (e.g. ``"native"`` without a C compiler) — see
+    :func:`backend_availability` for the reasons.
+    """
+    names = sorted(_FACTORIES)
+    if usable_only:
+        names = [n for n in names if backend_availability().get(n) is None]
+    return names
+
+
+def backend_availability(name: Optional[str] = None) -> Dict[str, Optional[str]]:
+    """Availability of registered backends on this host.
+
+    Maps each name to ``None`` when the backend is usable, or to a
+    human-readable reason when it is registered but unavailable (the
+    same message resolving it would raise).  Always-available numpy
+    backends map to ``None`` unconditionally.
+
+    Pass ``name`` to probe a single backend — probing can be costly
+    (the native probe attempts a real build on compiler-equipped
+    hosts), so callers validating one selection should not pay for
+    the whole table.  Unknown names yield an empty dict.
+    """
+    names = sorted(_FACTORIES) if name is None else [n for n in (name,) if n in _FACTORIES]
+    out: Dict[str, Optional[str]] = {}
+    for name in names:
+        probe = _PROBES.get(name)
+        if probe is None:
+            out[name] = None
+            continue
+        ok, reason = probe()
+        out[name] = None if ok else (reason or "unavailable on this host")
+    return out
 
 
 def _resolve(name_or_backend: Union[str, KernelBackend]) -> KernelBackend:

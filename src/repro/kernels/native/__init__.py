@@ -1,0 +1,33 @@
+"""Native (C, ctypes) kernel backend — the registry's third backend.
+
+The public surface:
+
+* :class:`NativeBackend` — the backend class (instantiating it builds
+  and loads the C library; registered as ``"native"`` in
+  :mod:`repro.kernels.backends`);
+* :func:`native_available` / :func:`native_availability` — host
+  capability probes (the pytest skip-marker and
+  ``backend_availability()`` route through these);
+* :func:`build_native_library` — force the compile (the CI build
+  step);
+* :class:`KernelBuildError` — the actionable resolve-time error on
+  hosts without a working C toolchain.
+
+Importing this package never compiles anything (DESIGN.md §11).
+"""
+
+from repro.kernels.native.build import (
+    KernelBuildError,
+    build_native_library,
+    native_availability,
+    native_available,
+)
+from repro.kernels.native.backend import NativeBackend
+
+__all__ = [
+    "NativeBackend",
+    "KernelBuildError",
+    "build_native_library",
+    "native_availability",
+    "native_available",
+]

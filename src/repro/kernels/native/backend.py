@@ -1,0 +1,209 @@
+"""The ``"native"`` kernel backend: fused C primitives via ctypes.
+
+Where the numpy backends execute the round as four full-array passes
+(gather → shifted softmax → segment reduce → scatter, each with its
+own temporaries), this backend hands the raw CSR arrays of the cached
+:class:`~repro.kernels.RoundWorkspace` to a single C function that
+walks every left row once — per-slot state lives in registers instead
+of m-sized arrays (DESIGN.md §11).
+
+Parity tiers (asserted by ``tests/test_kernel_backends.py``):
+
+* **bit-identical** — ``scatter_add`` (element-order left fold, the
+  same fold ``np.bincount`` performs), ``segment_max``
+  (order-independent), and every exponential in the fused round
+  (weights are looked up from a Python-precomputed ``np.exp`` table
+  keyed by the integer shift, so they are *exactly* the numpy values);
+* **tolerance** — row *sums* (``segment_sum``, softmax denominators):
+  numpy's ``reduceat`` accumulates with SIMD/pairwise partial sums
+  while the C loops fold sequentially, so sums agree to a few ulps
+  and trajectories to tolerance (in practice the integer β trajectory
+  is unchanged, which the parity suite asserts on fixed seeds).
+
+Instantiating the backend triggers the one-time compile+load
+(:mod:`repro.kernels.native.build`); hosts without a C compiler get
+an actionable :class:`~repro.kernels.native.build.KernelBuildError`
+at *resolve* time, never at import time.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.backends import OptimizedBackend
+from repro.kernels.native.build import load_native_library
+from repro.kernels.workspace import RoundWorkspace
+
+__all__ = ["NativeBackend"]
+
+_P_F64 = ctypes.POINTER(ctypes.c_double)
+_P_I64 = ctypes.POINTER(ctypes.c_int64)
+
+
+def _f64(arr: np.ndarray):
+    return arr.ctypes.data_as(_P_F64)
+
+
+def _i64(arr: np.ndarray):
+    return arr.ctypes.data_as(_P_I64)
+
+
+class NativeBackend(OptimizedBackend):
+    """Fused one-pass C kernels over CSR arrays, loaded via ctypes.
+
+    Subclasses the optimized backend so any primitive without a native
+    implementation (``expand_rows``, ``gather``, non-float64 inputs)
+    keeps the cached-invariant numpy path — the backend is always a
+    strict superset, never a behavioral fork.
+    """
+
+    name = "native"
+
+    def __init__(self) -> None:
+        self._lib = load_native_library()
+        # Per-scale exp lookup tables: scale -> (table, complete).
+        # table[s] == np.exp(-s * scale) exactly; ``complete`` means the
+        # table already reaches the underflow-to-zero tail, so any
+        # larger shift is exactly 0.0 (what the C kernel returns past
+        # the end of the table).
+        self._exp_tables: dict[float, tuple[np.ndarray, bool]] = {}
+
+    # -- exp-table management ------------------------------------------
+    def _exp_table(self, scale: float, max_shift: int) -> np.ndarray:
+        cached = self._exp_tables.get(scale)
+        if cached is not None:
+            table, complete = cached
+            if complete or table.shape[0] > max_shift:
+                return table
+            grow_to = max(max_shift + 1, 2 * table.shape[0])
+        else:
+            grow_to = max(max_shift + 1, 1024)
+        table = np.exp(-np.arange(grow_to, dtype=np.float64) * scale)
+        zeros = np.nonzero(table == 0.0)[0]
+        complete = zeros.size > 0
+        if complete:
+            # exp is monotone: once a shift underflows to 0.0 every
+            # larger one does too, so the table may stop there.
+            table = np.ascontiguousarray(table[: int(zeros[0]) + 1])
+        table.setflags(write=False)
+        self._exp_tables[scale] = (table, complete)
+        return table
+
+    # -- the fused round ------------------------------------------------
+    def proportional_round(
+        self,
+        workspace: RoundWorkspace,
+        beta_exp: np.ndarray,
+        scale: float,
+        *,
+        left_units: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        ws = workspace
+        x = np.empty(ws.n_edges, dtype=np.float64)
+        alloc = np.zeros(ws.n_right, dtype=np.float64)
+        if ws.n_edges == 0 or ws.n_left == 0:
+            return x, alloc
+        beta = np.ascontiguousarray(beta_exp, dtype=np.int64)
+        indptr = np.ascontiguousarray(ws.left.indptr, dtype=np.int64)
+        adj = np.ascontiguousarray(ws.left_adj, dtype=np.int64)
+        # Shifts are bounded by the global exponent range (a superset
+        # of every within-row range) — an O(n) scan, not O(m).
+        max_shift = int(beta.max() - beta.min())
+        table = self._exp_table(float(scale), max_shift)
+        units = None
+        if left_units is not None:
+            units = np.ascontiguousarray(left_units, dtype=np.float64)
+        self._lib.repro_proportional_round(
+            _i64(beta),
+            _i64(adj),
+            _i64(indptr),
+            ctypes.c_int64(ws.n_left),
+            _f64(table),
+            ctypes.c_int64(table.shape[0]),
+            _f64(units) if units is not None else None,
+            _f64(x),
+            _f64(alloc),
+        )
+        return x, alloc
+
+    # -- segment primitives ---------------------------------------------
+    def segment_sum(self, per_slot, indptr, *, layout=None):
+        per_slot = np.asarray(per_slot)
+        if per_slot.dtype != np.float64:
+            return super().segment_sum(per_slot, indptr, layout=layout)
+        n_rows = int(indptr.shape[0] - 1)
+        out = np.zeros(n_rows, dtype=np.float64)
+        if per_slot.shape[0] == 0 or n_rows <= 0:
+            return out
+        self._lib.repro_segment_sum(
+            _f64(np.ascontiguousarray(per_slot)),
+            _i64(np.ascontiguousarray(indptr, dtype=np.int64)),
+            ctypes.c_int64(n_rows),
+            _f64(out),
+        )
+        return out
+
+    def segment_max(self, per_slot, indptr, empty, *, layout=None):
+        per_slot = np.asarray(per_slot)
+        if per_slot.dtype != np.float64:
+            return super().segment_max(per_slot, indptr, empty, layout=layout)
+        n_rows = int(indptr.shape[0] - 1)
+        out = np.empty(n_rows, dtype=np.float64)
+        if n_rows <= 0:
+            return out
+        if per_slot.shape[0] == 0:
+            out.fill(empty)
+            return out
+        self._lib.repro_segment_max(
+            _f64(np.ascontiguousarray(per_slot)),
+            _i64(np.ascontiguousarray(indptr, dtype=np.int64)),
+            ctypes.c_int64(n_rows),
+            ctypes.c_double(empty),
+            _f64(out),
+        )
+        return out
+
+    def segment_softmax_shifted(
+        self, exp_slots, indptr, scale, *, layout=None, mutate_input=False
+    ):
+        # One fused pass (max + exp + sum + normalize per row) instead
+        # of the numpy backends' four.  Always computes through a fresh
+        # float64 copy, so the caller's array survives either way.
+        e = np.asarray(exp_slots)
+        out = e.astype(np.float64)  # astype always copies here
+        n_rows = int(indptr.shape[0] - 1)
+        if out.shape[0] == 0 or n_rows <= 0:
+            return out
+        self._lib.repro_segment_softmax_shifted(
+            _f64(out),
+            _i64(np.ascontiguousarray(indptr, dtype=np.int64)),
+            ctypes.c_int64(n_rows),
+            ctypes.c_double(scale),
+            _f64(out),
+        )
+        return out
+
+    def scatter_add(self, index, *, weights=None, minlength=0):
+        if weights is None:
+            # Pure counting: np.bincount is already a single C pass.
+            return super().scatter_add(index, minlength=minlength)
+        index = np.ascontiguousarray(index, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if index.shape[0] == 0:
+            return np.zeros(minlength, dtype=np.float64)
+        lo = int(index.min())
+        if lo < 0:
+            # Match np.bincount's error on negative bins.
+            return super().scatter_add(index, weights=weights, minlength=minlength)
+        n_bins = max(int(minlength), int(index.max()) + 1)
+        out = np.zeros(n_bins, dtype=np.float64)
+        self._lib.repro_scatter_add(
+            _i64(index),
+            _f64(weights),
+            ctypes.c_int64(index.shape[0]),
+            _f64(out),
+        )
+        return out

@@ -1,0 +1,218 @@
+"""On-demand compilation and loading of the native round kernel.
+
+The native backend ships one small C source (``kernel.c``) and builds
+it at first use with the system C compiler — no numba, no Cython, no
+network, no new dependencies.  The compiled shared object is cached
+under a build directory keyed by the SHA-256 of the source *and* the
+exact compile command, so source edits, compiler switches and flag
+changes each get a fresh artifact while repeated runs (and every
+process on the host) reuse one ``.so``.
+
+Degradation contract (DESIGN.md §11): importing this module never
+compiles anything and never raises.  :func:`native_availability`
+answers "could the backend work here?" with a reason when it cannot
+(no compiler on PATH, or the probe compile failed), and
+:func:`load_native_library` raises :class:`KernelBuildError` with that
+actionable reason — callers resolving ``backend="native"`` surface it
+instead of crashing import.
+
+Environment knobs:
+
+* ``REPRO_NATIVE_CC`` — compiler executable (default: ``$CC``, else
+  the first of ``cc``/``gcc``/``clang`` on PATH).
+* ``REPRO_NATIVE_CACHE`` — build directory (default:
+  ``~/.cache/repro/native``, falling back to a per-user temp dir when
+  the home cache is not writable).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import getpass
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "KernelBuildError",
+    "compiler_path",
+    "native_availability",
+    "native_available",
+    "load_native_library",
+    "build_native_library",
+]
+
+SOURCE_PATH = Path(__file__).resolve().parent / "kernel.c"
+CFLAGS = ("-O3", "-fPIC", "-shared")
+
+_CACHE_ENV = "REPRO_NATIVE_CACHE"
+_CC_ENV = "REPRO_NATIVE_CC"
+
+# Memoized state: (lib, None) after a successful load, (None, reason)
+# after a failed probe/compile so repeated resolution attempts do not
+# re-run the compiler just to fail again.
+_LIB: Optional[ctypes.CDLL] = None
+_FAILURE: Optional[str] = None
+
+
+class KernelBuildError(RuntimeError):
+    """The native kernel could not be built or loaded on this host."""
+
+
+def compiler_path() -> Optional[str]:
+    """Absolute path of the C compiler to use, or ``None`` when no
+    compiler is on PATH (``REPRO_NATIVE_CC`` > ``CC`` > cc/gcc/clang)."""
+    for candidate in (os.environ.get(_CC_ENV), os.environ.get("CC")):
+        if candidate:
+            return shutil.which(candidate)
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(_CACHE_ENV)
+    if override:
+        return Path(override)
+    try:
+        base = Path.home() / ".cache"
+    except RuntimeError:  # pragma: no cover - no resolvable home
+        base = None
+    if base is not None:
+        path = base / "repro" / "native"
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        except OSError:  # pragma: no cover - read-only home
+            pass
+    try:
+        user = getpass.getuser()
+    except Exception:  # pragma: no cover - no passwd entry
+        user = str(os.getuid()) if hasattr(os, "getuid") else "user"
+    return Path(tempfile.gettempdir()) / f"repro-native-{user}"
+
+
+def _build_command(cc: str, out: Path) -> list[str]:
+    return [cc, *CFLAGS, "-o", str(out), str(SOURCE_PATH), "-lm"]
+
+
+def _artifact_path(cc: str) -> Path:
+    """Cache key: source bytes + the exact command that would build it."""
+    digest = hashlib.sha256()
+    digest.update(SOURCE_PATH.read_bytes())
+    digest.update("\0".join(_build_command(cc, Path("SO"))).encode())
+    return _cache_dir() / f"libreprokernel-{digest.hexdigest()[:16]}.so"
+
+
+def build_native_library(force: bool = False) -> Path:
+    """Compile ``kernel.c`` (if not already cached) and return the
+    ``.so`` path.  Raises :class:`KernelBuildError` with an actionable
+    message when no compiler exists or compilation fails."""
+    cc = compiler_path()
+    if cc is None:
+        raise KernelBuildError(
+            "the native kernel backend needs a C compiler (cc/gcc/clang) "
+            "on PATH and none was found — install one, point "
+            f"{_CC_ENV} at one, or select backend='optimized'"
+        )
+    artifact = _artifact_path(cc)
+    if artifact.exists() and not force:
+        return artifact
+    artifact.parent.mkdir(parents=True, exist_ok=True)
+    # Compile to a unique temp name, then atomically rename: concurrent
+    # processes racing on a cold cache each build their own temp and
+    # the last rename wins with identical bytes.
+    tmp = artifact.with_suffix(f".tmp{os.getpid()}.so")
+    cmd = _build_command(cc, tmp)
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise KernelBuildError(
+            f"failed to run the C compiler {cc!r}: {exc}"
+        ) from exc
+    if proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise KernelBuildError(
+            "compiling the native kernel failed "
+            f"({' '.join(cmd)}):\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp, artifact)
+    return artifact
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    i64 = ctypes.c_int64
+    f64 = ctypes.c_double
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    p_f64 = ctypes.POINTER(ctypes.c_double)
+    lib.repro_proportional_round.restype = None
+    lib.repro_proportional_round.argtypes = [
+        p_i64, p_i64, p_i64, i64, p_f64, i64, p_f64, p_f64, p_f64,
+    ]
+    lib.repro_segment_sum.restype = None
+    lib.repro_segment_sum.argtypes = [p_f64, p_i64, i64, p_f64]
+    lib.repro_segment_max.restype = None
+    lib.repro_segment_max.argtypes = [p_f64, p_i64, i64, f64, p_f64]
+    lib.repro_segment_softmax_shifted.restype = None
+    lib.repro_segment_softmax_shifted.argtypes = [p_f64, p_i64, i64, f64, p_f64]
+    lib.repro_scatter_add.restype = None
+    lib.repro_scatter_add.argtypes = [p_i64, p_f64, i64, p_f64]
+    return lib
+
+
+def load_native_library() -> ctypes.CDLL:
+    """The loaded (building if needed) native kernel library.
+
+    Memoized per process; a failed build is memoized too, so repeated
+    resolution attempts re-raise the recorded reason instead of
+    re-invoking the compiler."""
+    global _LIB, _FAILURE
+    if _LIB is not None:
+        return _LIB
+    if _FAILURE is not None:
+        raise KernelBuildError(_FAILURE)
+    try:
+        artifact = build_native_library()
+        _LIB = _declare(ctypes.CDLL(str(artifact)))
+    except KernelBuildError as exc:
+        _FAILURE = str(exc)
+        raise
+    except OSError as exc:  # dlopen failure on a stale/foreign artifact
+        _FAILURE = f"failed to load the compiled native kernel: {exc}"
+        raise KernelBuildError(_FAILURE) from exc
+    return _LIB
+
+
+def native_availability() -> tuple[bool, Optional[str]]:
+    """``(available, reason)`` for this host, without raising.
+
+    Cheap when a compiler is missing (a PATH probe); otherwise performs
+    (or reuses) the real build so the answer reflects reality rather
+    than optimism.  The reason string is exactly what resolving
+    ``backend="native"`` would raise.
+    """
+    if _LIB is not None:
+        return True, None
+    if _FAILURE is None and compiler_path() is None:
+        # Probe-only fast path: report without memoizing, so a compiler
+        # installed later in the process lifetime is picked up.
+        return False, (
+            "no C compiler (cc/gcc/clang) found on PATH; install one or "
+            f"set {_CC_ENV}"
+        )
+    try:
+        load_native_library()
+    except KernelBuildError as exc:
+        return False, str(exc)
+    return True, None
+
+
+def native_available() -> bool:
+    """Convenience predicate for test skip-markers and benchmarks."""
+    return native_availability()[0]

@@ -1,0 +1,176 @@
+/* Fused one-pass round-kernel primitives over raw CSR arrays.
+ *
+ * Compiled on demand by repro.kernels.native.build with the system C
+ * compiler (-O3 -fPIC -shared) and loaded via ctypes — zero
+ * dependencies beyond libc/libm.  Every function walks the CSR rows
+ * exactly once; per-slot temporaries live in registers/L1 instead of
+ * full-size numpy arrays (DESIGN.md §11).
+ *
+ * Accumulation-order contract (the two parity tiers, DESIGN.md §11):
+ *   - scatter_add accumulates in element order, matching np.bincount's
+ *     strict sequential left fold — bit-identical to the numpy
+ *     backends.
+ *   - segment maxima are order-independent — bit-identical.
+ *   - segment *sums* (segment_sum, the softmax denominators) are
+ *     strict sequential left folds per row; numpy's reduceat uses
+ *     SIMD/pairwise partial sums, so these agree only to a few ulps —
+ *     the parity suite's tolerance tier.
+ *
+ * exp() never appears below for the round kernel itself: the shifted
+ * exponents are integers, so Python precomputes exp_table[i] =
+ * np.exp(-i * scale) once per scale and the kernel looks weights up by
+ * integer shift — exactly the values the numpy backends compute
+ * (the PR-2 columnar-substrate idiom).  Shifts past the table have
+ * underflowed to exactly 0.0.
+ */
+
+#include <math.h>
+#include <stddef.h>
+#include <stdint.h>
+
+/* One fused proportional round (gather → shifted softmax → segment
+ * reduce → scatter) over the left CSR side.
+ *
+ *   beta_exp   int64[n_right]   per-right-vertex integer exponents
+ *   left_adj   int64[m]         L-CSR slot -> right vertex
+ *   indptr     int64[n_left+1]  left CSR row pointers
+ *   exp_table  f64[table_len]   exp_table[s] == np.exp(-s * scale)
+ *   left_units f64[n_left]|NULL optional per-left-vertex mass budgets
+ *   x          f64[m]           out: normalized per-slot weights
+ *   alloc      f64[n_right]     out: per-right-vertex load (pre-zeroed)
+ */
+void repro_proportional_round(
+    const int64_t *beta_exp,
+    const int64_t *left_adj,
+    const int64_t *indptr,
+    int64_t n_left,
+    const double *exp_table,
+    int64_t table_len,
+    const double *left_units,
+    double *x,
+    double *alloc)
+{
+    for (int64_t u = 0; u < n_left; ++u) {
+        const int64_t start = indptr[u];
+        const int64_t end = indptr[u + 1];
+        if (start >= end)
+            continue;
+        int64_t row_max = beta_exp[left_adj[start]];
+        for (int64_t i = start + 1; i < end; ++i) {
+            const int64_t b = beta_exp[left_adj[i]];
+            if (b > row_max)
+                row_max = b;
+        }
+        double denom = 0.0;
+        for (int64_t i = start; i < end; ++i) {
+            const int64_t shift = row_max - beta_exp[left_adj[i]];
+            const double w = (shift < table_len) ? exp_table[shift] : 0.0;
+            x[i] = w;
+            denom += w;
+        }
+        /* row_max slot contributes exp(0) = 1, so denom >= 1 here. */
+        if (left_units != NULL) {
+            const double unit = left_units[u];
+            for (int64_t i = start; i < end; ++i) {
+                /* numpy order: normalize first, then scale by units. */
+                const double v = (x[i] / denom) * unit;
+                x[i] = v;
+                alloc[left_adj[i]] += v;
+            }
+        } else {
+            for (int64_t i = start; i < end; ++i) {
+                const double v = x[i] / denom;
+                x[i] = v;
+                alloc[left_adj[i]] += v;
+            }
+        }
+    }
+}
+
+/* Row sums of a CSR-aligned float64 array; empty rows yield 0.
+ * Strict sequential left fold per row (tolerance tier vs reduceat). */
+void repro_segment_sum(
+    const double *per_slot,
+    const int64_t *indptr,
+    int64_t n_rows,
+    double *out)
+{
+    for (int64_t r = 0; r < n_rows; ++r) {
+        double acc = 0.0;
+        for (int64_t i = indptr[r]; i < indptr[r + 1]; ++i)
+            acc += per_slot[i];
+        out[r] = acc;
+    }
+}
+
+/* Row maxima; empty rows yield `empty`.  NaNs propagate like
+ * np.maximum.reduceat (any NaN in a row wins).  Bit-identical tier. */
+void repro_segment_max(
+    const double *per_slot,
+    const int64_t *indptr,
+    int64_t n_rows,
+    double empty,
+    double *out)
+{
+    for (int64_t r = 0; r < n_rows; ++r) {
+        const int64_t start = indptr[r];
+        const int64_t end = indptr[r + 1];
+        if (start >= end) {
+            out[r] = empty;
+            continue;
+        }
+        double acc = per_slot[start];
+        for (int64_t i = start + 1; i < end; ++i) {
+            const double v = per_slot[i];
+            if (v > acc || isnan(v))
+                acc = v;
+        }
+        out[r] = acc;
+    }
+}
+
+/* Fused shifted-exponent softmax over float64 per-slot values:
+ * one pass per row computes the max, the exp'd shifted weights and
+ * their sum, then normalizes in place.  Uses libm exp(), and row sums
+ * are sequential — tolerance tier vs the numpy backends. */
+void repro_segment_softmax_shifted(
+    const double *per_slot,
+    const int64_t *indptr,
+    int64_t n_rows,
+    double scale,
+    double *out)
+{
+    for (int64_t r = 0; r < n_rows; ++r) {
+        const int64_t start = indptr[r];
+        const int64_t end = indptr[r + 1];
+        if (start >= end)
+            continue;
+        double row_max = per_slot[start];
+        for (int64_t i = start + 1; i < end; ++i) {
+            const double v = per_slot[i];
+            if (v > row_max)
+                row_max = v;
+        }
+        double denom = 0.0;
+        for (int64_t i = start; i < end; ++i) {
+            const double w = exp((per_slot[i] - row_max) * scale);
+            out[i] = w;
+            denom += w;
+        }
+        for (int64_t i = start; i < end; ++i)
+            out[i] /= denom;
+    }
+}
+
+/* Weighted scatter-add into pre-zeroed bins, accumulating in element
+ * order — the same strict left fold np.bincount performs, so this is
+ * bit-identical to the numpy backends. */
+void repro_scatter_add(
+    const int64_t *index,
+    const double *weights,
+    int64_t n,
+    double *out)
+{
+    for (int64_t i = 0; i < n; ++i)
+        out[index[i]] += weights[i];
+}

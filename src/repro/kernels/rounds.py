@@ -43,17 +43,11 @@ def proportional_round(
     ``left_units`` optionally gives each left vertex a mass budget
     other than 1 (the b-matching generalization).  ``x`` is always a
     fresh array — callers may keep it across rounds.
+
+    Dispatches to the backend's ``proportional_round`` hook: the numpy
+    backends compose the four segment primitives, while the native
+    backend executes one fused C pass over the CSR arrays
+    (DESIGN.md §11).
     """
     be = backend or get_backend()
-    ws = workspace
-    e_slot = be.gather_as_float(beta_exp, ws.left_adj, row_buf=ws.beta_f64)
-    # The gather above hands us a fresh per-slot array, so the softmax
-    # may compute through it in place.
-    x = be.segment_softmax_shifted(
-        e_slot, ws.left.indptr, scale, layout=ws.left, mutate_input=True
-    )
-    if left_units is not None:
-        units_slot = be.gather(np.asarray(left_units, dtype=np.float64), ws.edge_u)
-        np.multiply(x, units_slot, out=x)
-    alloc = be.scatter_add(ws.left_adj, weights=x, minlength=ws.n_right)
-    return x, alloc
+    return be.proportional_round(workspace, beta_exp, scale, left_units=left_units)

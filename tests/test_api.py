@@ -53,7 +53,9 @@ def test_config_defaults_match_historical_entry_points():
 def test_config_unknown_backend_lists_choices():
     with pytest.raises(ValueError, match=r"unknown kernel backend 'nope'"):
         SolverConfig(backend="nope")
-    with pytest.raises(ValueError, match=r"available: \['optimized', 'reference'\]"):
+    with pytest.raises(
+        ValueError, match=r"available: \['native', 'optimized', 'reference'\]"
+    ):
         SolverConfig(backend="nope")
 
 

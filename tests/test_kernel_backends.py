@@ -1,14 +1,27 @@
-"""Backend parity: reference and optimized kernels are bit-identical.
+"""Backend parity across the three registered kernel backends.
 
-The kernel-layer contract (DESIGN.md §6) is that backends may differ
-in caching and buffer reuse but never in arithmetic: every primitive
-performs the same floating-point operations in the same order, so
-whole trajectories — Algorithm 1/3, the sampled Algorithm 2 and the
-b-matching dynamics — must agree to the last bit.  These tests assert
-exact equality (``np.array_equal``, no tolerances).
+The kernel-layer contract (DESIGN.md §6/§11) has two tiers:
+
+* the numpy backends (``reference``/``optimized``) may differ in
+  caching and buffer reuse but never in arithmetic — every primitive
+  performs the same floating-point operations in the same order, so
+  whole trajectories (Algorithm 1/3, the sampled Algorithm 2, the
+  b-matching dynamics) must agree to the last bit
+  (``np.array_equal``, no tolerances);
+* the fused C ``native`` backend is bit-identical for
+  order-independent primitives (scatter, max, the exp-table weights)
+  and for the integer β dynamics, but folds row sums sequentially
+  where numpy's ``reduceat`` uses SIMD/pairwise partial sums — those
+  agree to a few ulps, the documented tolerance tier.
+
+The native tests skip (with the probed reason) on hosts without a C
+compiler — the graceful-degradation contract.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -23,15 +36,32 @@ from repro.kernels import (
     OptimizedBackend,
     ReferenceBackend,
     available_backends,
+    backend_availability,
     get_backend,
     proportional_round,
     set_backend,
     use_backend,
     workspace_for,
 )
+from repro.kernels.native import native_available
 
 REF = ReferenceBackend()
 OPT = OptimizedBackend()
+
+needs_native = pytest.mark.skipif(
+    not native_available(),
+    reason=f"native backend unavailable: {backend_availability('native').get('native')}",
+)
+
+# ulp-level agreement for the native backend's sequentially-folded row
+# sums (weights in (0,1], denominators in [1, deg] — a handful of ulps)
+TOL = dict(rtol=1e-12, atol=1e-14)
+
+
+def NAT():
+    from repro.kernels.native import NativeBackend
+
+    return NativeBackend()
 
 
 def random_graph(n_left, n_right, m, seed):
@@ -278,3 +308,277 @@ def test_workspace_reuse_across_runs_is_bit_identical():
         second = ProportionalRun(g, caps, 0.1).run(8)
     assert np.array_equal(first.beta_exp, second.beta_exp)
     assert np.array_equal(first.x_slots, second.x_slots)
+
+
+def test_batch_adopts_workspaces_across_equal_graph_copies():
+    """solve_allocation_many structurally shares layouts across
+    equal-but-distinct graph objects (the deserialized-request serving
+    shape), with results bit-identical to per-instance solves."""
+    from repro.core.pipeline import solve_allocation, solve_allocation_many
+    from repro.utils.rng import spawn
+
+    def fresh():
+        return [
+            union_of_forests(60, 50, 3, capacity=2 + (i % 2), seed=5)
+            for i in range(4)
+        ]
+
+    batch = fresh()
+    batched = solve_allocation_many(batch, 0.2, seed=3, boost=False)
+    g0 = batch[0].graph
+    assert all(inst.graph.left_layout is g0.left_layout for inst in batch[1:])
+    assert all(inst.graph.right_layout is g0.right_layout for inst in batch[1:])
+
+    solo = [
+        solve_allocation(inst, 0.2, seed=s, boost=False)
+        for inst, s in zip(fresh(), spawn(3, 4))
+    ]
+    for a, b in zip(batched, solo):
+        assert np.array_equal(a.edge_mask, b.edge_mask)
+        assert a.size == b.size
+
+
+def test_batch_does_not_adopt_across_different_structures():
+    """Same vertex/edge counts but different CSR content must not
+    share layouts — the signature only gates the attempt, equality of
+    ``indptr`` decides adoption."""
+    from repro.core.pipeline import solve_allocation_many
+
+    a = union_of_forests(60, 50, 3, capacity=2, seed=5)
+    b = union_of_forests(60, 50, 3, capacity=2, seed=6)
+    solve_allocation_many([a, b], 0.2, seed=0, boost=False)
+    if a.graph.n_edges == b.graph.n_edges:  # same signature bucket
+        assert a.graph.left_layout is not b.graph.left_layout
+
+
+# ----------------------------------------------------------------------
+# Native backend: the two-tier parity contract (DESIGN.md §11)
+# ----------------------------------------------------------------------
+DEGENERATE_GRAPHS = [
+    # zero-edge instance with vertices on both sides
+    lambda: build_graph(5, 3, [], []),
+    # empty rows on both CSR sides around two edges
+    lambda: build_graph(6, 4, [0, 5], [1, 2]),
+    # single-slot segments: every left row has exactly one edge
+    lambda: build_graph(4, 4, [0, 1, 2, 3], [1, 0, 3, 2]),
+    # single right hub: one segment absorbing every slot
+    lambda: build_graph(5, 1, [0, 1, 2, 3, 4], [0, 0, 0, 0, 0]),
+]
+
+
+@needs_native
+@pytest.mark.parametrize("case", GRAPH_CASES)
+def test_native_order_independent_primitives_bit_identical(case):
+    g = random_graph(*case)
+    nat = NAT()
+    rng = np.random.default_rng(21)
+    per_slot = rng.random(g.n_edges)
+    for indptr, layout in (
+        (g.left_indptr, g.left_layout),
+        (g.right_indptr, g.right_layout),
+    ):
+        assert np.array_equal(
+            REF.segment_max(per_slot, indptr, -1.0),
+            nat.segment_max(per_slot, indptr, -1.0, layout=layout),
+        )
+    idx = rng.integers(0, max(g.n_right, 1), size=200)
+    w = rng.random(200)
+    assert np.array_equal(
+        REF.scatter_add(idx, weights=w, minlength=g.n_right + 3),
+        nat.scatter_add(idx, weights=w, minlength=g.n_right + 3),
+    )
+    # counting scatter has no weights: the C path is float64-only, the
+    # fallback must stay bincount's int64
+    assert np.array_equal(
+        REF.scatter_add(idx, minlength=g.n_right + 3),
+        nat.scatter_add(idx, minlength=g.n_right + 3),
+    )
+
+
+@needs_native
+@pytest.mark.parametrize("case", GRAPH_CASES)
+def test_native_row_sums_and_softmax_tolerance_tier(case):
+    g = random_graph(*case)
+    nat = NAT()
+    rng = np.random.default_rng(22)
+    per_slot = rng.random(g.n_edges)
+    for indptr, layout in (
+        (g.left_indptr, g.left_layout),
+        (g.right_indptr, g.right_layout),
+    ):
+        np.testing.assert_allclose(
+            nat.segment_sum(per_slot, indptr, layout=layout),
+            REF.segment_sum(per_slot, indptr),
+            **TOL,
+        )
+    exponents = rng.integers(-40, 40, size=g.n_edges)
+    scale = float(np.log1p(0.125))
+    sm = nat.segment_softmax_shifted(
+        exponents, g.left_indptr, scale, layout=g.left_layout
+    )
+    np.testing.assert_allclose(
+        sm, REF.segment_softmax_shifted(exponents, g.left_indptr, scale), **TOL
+    )
+    # rows with slots must still normalize to exactly ~1
+    if g.n_edges:
+        sums = nat.segment_sum(sm, g.left_indptr, layout=g.left_layout)
+        np.testing.assert_allclose(sums[g.left_layout.nonempty], 1.0, **TOL)
+
+
+@needs_native
+@pytest.mark.parametrize("case", GRAPH_CASES)
+def test_native_trajectories_beta_identical_values_tolerance(case):
+    """The integer β dynamics must be *exactly* the reference's every
+    round — thresholds never flip on an ulp — while x/alloc sit in the
+    tolerance tier."""
+    g = random_graph(*case)
+    caps = np.ones(g.n_right, dtype=np.int64)
+    ref = _proportional_trajectory(g, caps, 0.1, 12, "reference")
+    nat = _proportional_trajectory(g, caps, 0.1, 12, "native")
+    for (b_r, x_r, a_r), (b_n, x_n, a_n) in zip(ref, nat):
+        assert np.array_equal(b_r, b_n)
+        np.testing.assert_allclose(x_n, x_r, **TOL)
+        np.testing.assert_allclose(a_n, a_r, **TOL)
+
+
+@needs_native
+@pytest.mark.parametrize("make_graph", DEGENERATE_GRAPHS)
+def test_native_degenerate_csr_shapes(make_graph):
+    g = make_graph()
+    nat = NAT()
+    ws = workspace_for(g)
+    beta = np.random.default_rng(4).integers(-6, 6, size=g.n_right)
+    x_ref, a_ref = proportional_round(ws, beta, 0.1, backend=REF)
+    x_nat, a_nat = proportional_round(ws, beta, 0.1, backend=nat)
+    np.testing.assert_allclose(x_nat, x_ref, **TOL)
+    np.testing.assert_allclose(a_nat, a_ref, **TOL)
+    # single-slot rows are exact: weight 1/1, no sum ordering involved
+    if g.n_edges and np.all(np.diff(g.left_indptr) <= 1):
+        assert np.array_equal(x_nat, x_ref)
+
+
+@needs_native
+def test_native_round_with_units_tolerance():
+    g = random_graph(40, 30, 90, 6)
+    ws = workspace_for(g)
+    beta = np.random.default_rng(2).integers(-5, 5, size=g.n_right)
+    units = np.random.default_rng(3).integers(1, 4, size=g.n_left).astype(np.float64)
+    x_ref, a_ref = proportional_round(ws, beta, 0.1, left_units=units, backend=REF)
+    x_nat, a_nat = proportional_round(ws, beta, 0.1, left_units=units, backend=NAT())
+    np.testing.assert_allclose(x_nat, x_ref, **TOL)
+    np.testing.assert_allclose(a_nat, a_ref, **TOL)
+
+
+@needs_native
+def test_native_huge_exponent_range_no_overflow():
+    """Exponent spreads far past the exp-table's underflow point must
+    produce exact zeros, never nonsense, and keep rows normalized."""
+    g = build_graph(1, 3, [0, 0, 0], [0, 1, 2])
+    ws = workspace_for(g)
+    beta = np.array([0, -50_000, 100_000], dtype=np.int64)
+    x_ref, a_ref = proportional_round(ws, beta, 0.1, backend=REF)
+    x_nat, a_nat = proportional_round(ws, beta, 0.1, backend=NAT())
+    assert np.array_equal(x_nat, x_ref)  # 1.0 and exact underflow zeros
+    assert np.array_equal(a_nat, a_ref)
+
+
+@needs_native
+def test_dynamic_session_structural_delta_under_native():
+    """A resident DynamicSession driven by the native backend survives
+    a structural delta: warm resolve, transplanted workspace, feasible
+    Definition-5 allocation, satisfied certificate."""
+    from repro.dynamic import ClientArrival, DynamicSession
+    from repro.serve.session import check_integral_feasible
+
+    instance = union_of_forests(40, 30, 3, capacity=2, seed=0)
+    with use_backend("native"):
+        dyn = DynamicSession(instance, epsilon=0.2, boost=False)
+        dyn.resolve(seed=0)
+        dyn.apply(ClientArrival(neighbors=((0, 1), (2, 3))))
+        warm = dyn.resolve(seed=1)
+    assert warm.meta["warm_start"]
+    assert dyn.stats.structural_rebuilds == 1
+    assert warm.mpc.certificate.satisfied
+    check_integral_feasible(warm.instance, warm.edge_mask)
+
+
+@needs_native
+def test_engine_native_cold_solve_certified_and_feasible():
+    """Engine(SolverConfig(backend='native')) end-to-end: the cold
+    solve must pass the termination certificate and the Definition-5
+    feasibility check (the ISSUE's acceptance gate)."""
+    from repro.api import Engine, SolverConfig
+    from repro.serve.session import check_integral_feasible
+
+    instance = union_of_forests(80, 60, 3, capacity=2, seed=1)
+    config = SolverConfig(backend="native", boost=False, seed=7)
+    with Engine(config) as engine:
+        report = engine.solve(instance)
+    assert report.certified
+    assert report.certificate.satisfied
+    check_integral_feasible(instance, report.edge_mask)
+    assert report.size == int(report.edge_mask.sum())
+
+
+def test_native_unavailability_is_graceful(monkeypatch):
+    """Without a compiler the backend stays registered but unusable:
+    listing works, the reason is reported, resolving raises it, and
+    nothing crashes at import time."""
+    import repro.kernels.backends as backends_mod
+    from repro.kernels.native import KernelBuildError
+
+    def no_native():
+        return False, "no C compiler found (set CC or REPRO_NATIVE_CC)"
+
+    monkeypatch.setitem(backends_mod._PROBES, "native", no_native)
+    assert "native" in available_backends()
+    assert "native" not in available_backends(usable_only=True)
+    reason = backend_availability()["native"]
+    assert "compiler" in reason
+
+    def fail_factory():
+        raise KernelBuildError(reason)
+
+    monkeypatch.setitem(backends_mod._FACTORIES, "native", fail_factory)
+    with pytest.raises(KernelBuildError, match="compiler"):
+        with use_backend("native"):
+            pass  # pragma: no cover
+
+
+def test_config_rejects_unavailable_backend(monkeypatch):
+    """SolverConfig surfaces the availability reason eagerly."""
+    import repro.kernels.backends as backends_mod
+    from repro.api import SolverConfig
+
+    monkeypatch.setitem(
+        backends_mod._PROBES, "native", lambda: (False, "no C compiler found")
+    )
+    with pytest.raises(ValueError, match="no C compiler"):
+        SolverConfig(backend="native")
+
+
+# ----------------------------------------------------------------------
+# Bench regression guard: the committed BENCH_kernels.json floors
+# ----------------------------------------------------------------------
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+
+def test_bench_kernels_committed_floors():
+    """The committed full-scale bench must keep the headline speedups
+    above their floors: fused native ≥ 5x the reference backend (and ≥
+    2.5x optimized) per round on the largest instance, optimized ≥
+    1.2x reference.  Guards the artifact, not this host: regenerating
+    the JSON below a floor is the regression being caught."""
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_kernels.json not present")
+    payload = json.loads(BENCH_PATH.read_text())
+    if payload.get("scale") != "full":
+        pytest.skip("bench artifact not recorded at full scale")
+    assert payload["largest_instance_optimized_speedup"] >= 1.2
+    assert payload["optimized_beats_seed"] is True
+    largest = payload["round_kernel"][-1]
+    if largest.get("native_ms_per_round") is None:
+        pytest.skip("bench artifact recorded without a usable native backend")
+    assert payload["largest_instance_speedup"] >= 5.0
+    assert largest["native_speedup_vs_reference"] >= 5.0
+    assert largest["native_speedup_vs_optimized"] >= 2.5
