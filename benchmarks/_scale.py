@@ -1,14 +1,16 @@
-"""Benchmark scale selection, importable without pytest.
+"""Benchmark scale selection and host CPU topology, importable
+without pytest.
 
 Shared by ``benchmarks/conftest.py`` (the pytest-benchmark path) and
-``benchmarks/bench_kernels.py`` script mode.
+the ``bench_*.py`` script modes.
 """
 
 from __future__ import annotations
 
 import os
+import re
 
-__all__ = ["bench_scale"]
+__all__ = ["bench_scale", "cpu_info", "percentile"]
 
 
 def bench_scale() -> str:
@@ -16,3 +18,49 @@ def bench_scale() -> str:
     if scale not in ("smoke", "normal", "full"):
         raise ValueError(f"REPRO_BENCH_SCALE must be smoke/normal/full, got {scale!r}")
     return scale
+
+
+def cpu_info() -> dict:
+    """Logical and physical core counts of the host.
+
+    Physical cores come from the Linux sysfs topology (unique
+    ``(package, core_id)`` pairs); ``None`` where sysfs is absent
+    (non-Linux, containers masking it).  Every BENCH_*.json payload
+    records this so throughput/scaling numbers carry the hardware
+    context needed to compare them across hosts.
+    """
+    logical = os.cpu_count()
+    physical = None
+    base = "/sys/devices/system/cpu"
+    try:
+        cores: set[tuple[str, str]] = set()
+        for entry in os.listdir(base):
+            if not re.fullmatch(r"cpu\d+", entry):
+                continue
+            topo = os.path.join(base, entry, "topology")
+            with open(os.path.join(topo, "physical_package_id")) as f:
+                package = f.read().strip()
+            with open(os.path.join(topo, "core_id")) as f:
+                core = f.read().strip()
+            cores.add((package, core))
+        physical = len(cores) or None
+    except OSError:
+        physical = None
+    return {"logical_cores": logical, "physical_cores": physical}
+
+
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile (0–100) by linear interpolation —
+    p50/p95 latency digests without a numpy dependency in the digest
+    path."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("percentile of an empty sequence")
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * q / 100.0
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(data):
+        return data[-1]
+    return data[low] * (1.0 - frac) + data[low + 1] * frac

@@ -47,7 +47,7 @@ if not __package__:  # invoked as a script: self-contained path setup
     _root = Path(__file__).resolve().parents[1]
     sys.path.insert(0, str(_root))          # for benchmarks._scale
     sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
-from benchmarks._scale import bench_scale
+from benchmarks._scale import bench_scale, cpu_info, percentile
 from repro.core.pipeline import solve_allocation
 from repro.graphs.generators import slow_spread_instance
 from repro.serve import AllocationSession, SolveRequest, solve_stream
@@ -81,27 +81,40 @@ def build_workload(scale: str):
     return instance, requests, workers
 
 
-def _cold_loop(instance, requests, seed) -> list:
+def _cold_loop(instance, requests, seed) -> tuple[list, list]:
     """Today's path: full cold pipeline per request."""
     streams = spawn(seed, len(requests))
     session = AllocationSession(instance, epsilon=_EPSILON, boost=False)
-    results = []
+    results, latencies = [], []
     for request, stream in zip(requests, streams):
         # solve_detached with no warm base is bit-identical to
         # solve_allocation on the request's instance (tests assert
         # this); routing through it keeps override handling uniform.
+        t0 = time.perf_counter()
         results.append(
             session.solve_detached(request, seed=stream, initial_exponents=None)
         )
-    return results
+        latencies.append(time.perf_counter() - t0)
+    return results, latencies
 
-def _session_serial(instance, requests, seed) -> tuple[AllocationSession, list]:
+def _session_serial(instance, requests, seed):
     session = AllocationSession(instance, epsilon=_EPSILON, boost=False)
     streams = spawn(seed, len(requests))
-    results = []
+    results, latencies = [], []
     for request, stream in zip(requests, streams):
+        t0 = time.perf_counter()
         results.append(session.solve(request, seed=stream))
-    return session, results
+        latencies.append(time.perf_counter() - t0)
+    return session, results, latencies
+
+
+def _latency_digest(latencies) -> dict:
+    """The p50/p95 shape BENCH_sharding.json also records, so the two
+    payloads compare request-for-request."""
+    return {
+        "p50_ms": round(percentile(latencies, 50) * 1000.0, 3),
+        "p95_ms": round(percentile(latencies, 95) * 1000.0, 3),
+    }
 
 
 def _session_batch(instance, requests, seed, workers) -> tuple[AllocationSession, list]:
@@ -119,14 +132,14 @@ if pytest is not None:
 
     def test_serving_cold_loop(benchmark, workload):
         instance, requests, _ = workload
-        results = benchmark.pedantic(
+        results, _ = benchmark.pedantic(
             lambda: _cold_loop(instance, requests, seed=0), rounds=1, iterations=1
         )
         assert len(results) == len(requests)
 
     def test_serving_session(benchmark, workload):
         instance, requests, _ = workload
-        _, results = benchmark.pedantic(
+        _, results, _ = benchmark.pedantic(
             lambda: _session_serial(instance, requests, seed=0),
             rounds=1, iterations=1,
         )
@@ -149,11 +162,13 @@ def run_serving_benchmarks(scale: str) -> dict:
     n = len(requests)
 
     t0 = time.perf_counter()
-    cold_results = _cold_loop(instance, requests, seed=0)
+    cold_results, cold_latencies = _cold_loop(instance, requests, seed=0)
     cold_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    session, warm_results = _session_serial(instance, requests, seed=0)
+    session, warm_results, warm_latencies = _session_serial(
+        instance, requests, seed=0
+    )
     session_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -184,12 +199,16 @@ def run_serving_benchmarks(scale: str) -> dict:
             "batch_workers": workers,
             # Batch-vs-session scaling is bounded by the host: with one
             # CPU the thread pool can only interleave, not overlap.
+            # BENCH_sharding.json records the same cpu shape, so the
+            # two curves are comparable host-for-host.
             "cpu_count": os.cpu_count(),
+            "cpu": cpu_info(),
         },
         "cold_loop": {
             "seconds": round(cold_seconds, 4),
             "requests_per_second": round(n / cold_seconds, 3),
             "local_rounds": cold_rounds,
+            "latency": _latency_digest(cold_latencies),
         },
         "session": {
             "seconds": round(session_seconds, 4),
@@ -197,11 +216,16 @@ def run_serving_benchmarks(scale: str) -> dict:
             "local_rounds": warm_rounds,
             "warm_solves": session.stats.warm_solves,
             "cold_solves": session.stats.cold_solves,
+            "latency": _latency_digest(warm_latencies),
         },
         "batch": {
             "seconds": round(batch_seconds, 4),
             "requests_per_second": round(n / batch_seconds, 3),
             "primed_then_batched": [1, n - 1],
+            # Per-request latency inside the thread pool is not
+            # individually observable from outside solve_stream;
+            # the sharded bench records worker-side latencies instead.
+            "latency": None,
         },
         "session_speedup_over_cold": round(session_speedup, 3),
         "batch_speedup_over_cold": round(cold_seconds / batch_seconds, 3),

@@ -1,0 +1,132 @@
+"""Guard: committed BENCH_*.json files must hold their recorded bars.
+
+Every benchmark in this repository writes its acceptance bar *into*
+its payload (``meets_2x_bar``, ``meets_3x_bar``, ``scaling_bar`` …).
+That makes a regression self-documenting — and committable by
+accident: regenerate a payload on a bad build, commit it, and the
+repository now records a miss as if it were fine.  This script is the
+CI tripwire (the ``sharding`` job): it re-reads every committed
+payload and fails if any recorded bar is below its floor.
+
+Bars that are hardware-conditional (the sharding scaling bar needs a
+multi-core host) pass when the payload records them as not applicable
+— an honest "could not measure here" is not a regression; a recorded
+``"met": false`` is.
+
+Run from the repo root (no arguments, exit code 0/1)::
+
+    python benchmarks/check_bench_floors.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def _fail(name: str, message: str) -> str:
+    return f"{name}: {message}"
+
+
+def check_serving(payload: dict) -> list[str]:
+    problems = []
+    if payload.get("meets_2x_bar") is not True:
+        problems.append("meets_2x_bar is not true")
+    speedup = payload.get("session_speedup_over_cold", 0)
+    if not isinstance(speedup, (int, float)) or speedup < 2.0:
+        problems.append(f"session_speedup_over_cold {speedup!r} < 2.0 floor")
+    return problems
+
+
+def check_dynamic(payload: dict) -> list[str]:
+    problems = []
+    bars = payload.get("meets_3x_bar")
+    if not isinstance(bars, dict) or not bars:
+        problems.append("meets_3x_bar missing or empty")
+    else:
+        for scenario, met in bars.items():
+            if met is not True:
+                problems.append(f"meets_3x_bar[{scenario!r}] is not true")
+    return problems
+
+
+def check_kernels(payload: dict) -> list[str]:
+    problems = []
+    if payload.get("optimized_beats_seed") is not True:
+        problems.append("optimized_beats_seed is not true")
+    speedup = payload.get("largest_instance_speedup", 0)
+    if not isinstance(speedup, (int, float)) or speedup < 1.0:
+        problems.append(f"largest_instance_speedup {speedup!r} < 1.0 floor")
+    return problems
+
+
+def check_mpc_substrate(payload: dict) -> list[str]:
+    problems = []
+    if payload.get("columnar_beats_object") is not True:
+        problems.append("columnar_beats_object is not true")
+    if payload.get("parity_checked") is not True:
+        problems.append("parity_checked is not true")
+    return problems
+
+
+def check_sharding(payload: dict) -> list[str]:
+    problems = []
+    if payload.get("determinism_bit_identical") is not True:
+        problems.append("determinism_bit_identical is not true")
+    bar = payload.get("scaling_bar")
+    if not isinstance(bar, dict):
+        problems.append("scaling_bar missing")
+        return problems
+    if bar.get("applicable"):
+        if bar.get("met") is not True:
+            problems.append(
+                f"scaling_bar recorded as applicable but not met "
+                f"(speedup_4_workers={bar.get('speedup_4_workers')!r}, "
+                f"threshold={bar.get('threshold')!r})"
+            )
+    elif bar.get("applicable") is not False:
+        problems.append("scaling_bar.applicable must be true or false")
+    return problems
+
+
+# One row per committed payload: (filename, required, checker).  The
+# e5 round-count payload records measurements without a bar — nothing
+# to guard there.
+CHECKS = (
+    ("BENCH_serving.json", True, check_serving),
+    ("BENCH_dynamic.json", True, check_dynamic),
+    ("BENCH_kernels.json", True, check_kernels),
+    ("BENCH_mpc_substrate.json", True, check_mpc_substrate),
+    ("BENCH_sharding.json", True, check_sharding),
+)
+
+
+def main() -> int:
+    failures: list[str] = []
+    for name, required, checker in CHECKS:
+        path = ROOT / name
+        if not path.exists():
+            if required:
+                failures.append(_fail(name, "missing from the repo root"))
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            failures.append(_fail(name, f"not valid JSON ({exc})"))
+            continue
+        for problem in checker(payload):
+            failures.append(_fail(name, problem))
+    if failures:
+        print("benchmark floor regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"all {len(CHECKS)} benchmark payloads hold their recorded floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

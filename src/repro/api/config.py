@@ -32,6 +32,7 @@ CONFIG_SCHEMA = "repro.api/SolverConfig/v1"
 
 _MODES = ("simulate", "faithful")
 _BOOST_MODES = ("layered", "deterministic")
+_EXECUTORS = ("thread", "process")
 
 
 def _is_int(value: Any) -> bool:
@@ -74,6 +75,14 @@ class SolverConfig:
         space exponent.
     max_workers:
         Default thread-pool width for :meth:`repro.api.Engine.batch`.
+    executor:
+        Default batch executor: ``"thread"`` (in-process
+        :func:`~repro.serve.solve_batch` pool — the historical shape)
+        or ``"process"`` (the :class:`~repro.serve.ShardedExecutor`
+        shard fleet with shared-memory instances, DESIGN.md §12).
+    shard_workers:
+        Default shard-process count for the ``"process"`` executor
+        (``None`` = one shard per logical core).
     """
 
     epsilon: float = 0.2
@@ -90,6 +99,8 @@ class SolverConfig:
     lam: Optional[int] = None
     alpha: float = 0.5
     max_workers: Optional[int] = None
+    executor: str = "thread"
+    shard_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -166,6 +177,16 @@ class SolverConfig:
                 self,
                 "max_workers",
                 check_positive_int(self.max_workers, "max_workers"),
+            )
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {list(_EXECUTORS)}, got {self.executor!r}"
+            )
+        if self.shard_workers is not None:
+            object.__setattr__(
+                self,
+                "shard_workers",
+                check_positive_int(self.shard_workers, "shard_workers"),
             )
 
     # -- derived views ---------------------------------------------------

@@ -104,6 +104,7 @@ class Engine:
             config = config.replace(**overrides)
         self.config = config
         self._restore: Optional[tuple] = None
+        self._fleet = None  # resident ShardedExecutor (process batches)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "active" if self._restore is not None else "inactive"
@@ -131,7 +132,13 @@ class Engine:
         return self
 
     def close(self) -> None:
-        """Restore the backend/substrate active before :meth:`activate`."""
+        """Restore the backend/substrate active before :meth:`activate`,
+        and shut down the resident shard fleet — terminating its worker
+        processes and unlinking every shared-memory segment it
+        published (worker crashes included)."""
+        if self._fleet is not None:
+            fleet, self._fleet = self._fleet, None
+            fleet.close()
         if self._restore is not None:
             prev_backend, prev_substrate = self._restore
             self._restore = None
@@ -304,25 +311,61 @@ class Engine:
     # -- batch / stream --------------------------------------------------
     def batch(
         self,
-        target: Union[AllocationInstance, AllocationSession],
+        target: Union[
+            AllocationInstance, AllocationSession, Sequence[AllocationInstance]
+        ],
         requests: Iterable[Union[SolveRequest, Mapping[str, Any]]],
         *,
         seed: Any = None,
         max_workers: Optional[int] = None,
         prime: bool = True,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> list[AllocationReport]:
-        """Serve a request batch through a resident session.
+        """Serve a request batch through a resident session (or fleet).
 
-        ``target`` is an instance (a fresh session is opened) or an
-        existing :class:`~repro.serve.AllocationSession`.  Requests may
-        be :class:`~repro.serve.SolveRequest` objects or their JSON
-        mappings.  ``prime=True`` (default) runs the first request
-        serially so the batched remainder warm-starts
+        ``target`` is an instance (a fresh session is opened), an
+        existing :class:`~repro.serve.AllocationSession`, or — process
+        executor only — a sequence of instances aligned with the
+        requests (multi-tenant routing).  Requests may be
+        :class:`~repro.serve.SolveRequest` objects or their JSON
+        mappings.  ``prime=True`` (default) runs each session's first
+        request serially so the batched remainder warm-starts
         (:func:`repro.serve.solve_stream`); ``prime=False`` is a plain
-        :func:`repro.serve.solve_batch` against the session's current
-        warm state.  Seeds follow the batch determinism rule; ``seed``
-        / ``max_workers`` fall back to the config.
+        :func:`repro.serve.solve_batch` against current warm state.
+
+        ``executor`` selects the execution tier (config default
+        ``"thread"``): ``"thread"`` runs the in-process pool
+        (``workers``/``max_workers`` = pool width), ``"process"``
+        routes through the resident :class:`~repro.serve.ShardedExecutor`
+        shard fleet (``workers`` = shard count, config
+        ``shard_workers``, else one per core; ``target`` must be
+        instances, not a session — sessions cannot cross processes).
+        Both tiers obey the same seed-per-position determinism
+        contract and return bit-identical reports for the same
+        ``(target, requests, seed)``.
+
+        The shard fleet stays resident between calls on an activated
+        engine (``with Engine(...) as e:`` / ``e.activate()``) and is
+        shut down by :meth:`close`; on a non-activated engine the
+        per-call scope tears it down again after each batch — activate
+        the engine when you want warm shards across batches.
         """
+        if executor is None:
+            executor = self.config.executor
+        if executor == "process":
+            return self._batch_sharded(
+                target, requests, seed=seed, workers=workers, prime=prime
+            )
+        if executor != "thread":
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if isinstance(target, (list, tuple)):
+            raise TypeError(
+                "a sequence of instances requires executor='process'; the "
+                "thread executor serves one session/instance per batch"
+            )
         session = (
             target
             if isinstance(target, AllocationSession)
@@ -332,7 +375,7 @@ class Engine:
         if seed is None:
             seed = self.config.seed
         if max_workers is None:
-            max_workers = self.config.max_workers
+            max_workers = workers if workers is not None else self.config.max_workers
         with self._scoped():
             if prime:
                 from repro.serve.batch import solve_stream
@@ -347,6 +390,44 @@ class Engine:
                     session, reqs, seed=seed, max_workers=max_workers
                 )
         return [AllocationReport.from_pipeline(r) for r in results]
+
+    def shard_executor(self, workers: Optional[int] = None):
+        """The engine's resident :class:`~repro.serve.ShardedExecutor`,
+        started on first use (``workers`` falls back to the config's
+        ``shard_workers``, else one shard per logical core).  A request
+        for a different worker count replaces the fleet.  Closed —
+        workers terminated, shared memory unlinked — by :meth:`close`.
+        """
+        import os
+
+        from repro.serve.sharding import ShardedExecutor
+
+        if workers is None:
+            workers = self.config.shard_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if self._fleet is not None and self._fleet.workers != workers:
+            fleet, self._fleet = self._fleet, None
+            fleet.close()
+        if self._fleet is None:
+            self._fleet = ShardedExecutor(workers, config=self.config).start()
+        return self._fleet
+
+    def _batch_sharded(
+        self, target, requests, *, seed, workers, prime
+    ) -> list[AllocationReport]:
+        if isinstance(target, AllocationSession):
+            raise TypeError(
+                "executor='process' serves instances, not sessions — shard "
+                "workers own their sessions; pass the AllocationInstance"
+            )
+        reqs = [_as_request(r) for r in requests]
+        if seed is None:
+            seed = self.config.seed
+        with self._scoped():
+            return self.shard_executor(workers).run_batch(
+                target, reqs, seed=seed, prime=prime
+            )
 
     def stream(
         self,

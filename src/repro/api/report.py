@@ -106,6 +106,11 @@ def _mpc_summary(result: MPCResult) -> dict[str, Any]:
     }
 
 
+def _restore_report(kind: str, payload: dict[str, Any]) -> "AllocationReport":
+    """Unpickle target for :meth:`AllocationReport.__reduce__`."""
+    return AllocationReport(kind, payload=payload)
+
+
 class AllocationReport:
     """Unified result wrapper with a versioned JSON schema.
 
@@ -136,6 +141,19 @@ class AllocationReport:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "detached" if self.detached else "live"
         return f"<AllocationReport {self.kind} {state} size={self.size}>"
+
+    def __reduce__(self):
+        """Pickle as a *detached* report (kind + schema payload).
+
+        A live report references the driver result, which reaches the
+        graph's :class:`~repro.kernels.RoundWorkspace` and its
+        thread-local scratch — not picklable, and not meaningful in
+        another process anyway.  Crossing a process boundary therefore
+        serializes exactly what ``to_json`` keeps: the unpickled report
+        is detached, every schema-backed accessor intact.  This is the
+        contract the sharded serving layer (DESIGN.md §12) rides on.
+        """
+        return (_restore_report, (self.kind, self.payload))
 
     # -- constructors ----------------------------------------------------
     @classmethod

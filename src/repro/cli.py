@@ -171,14 +171,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
             return 2
     try:
-        session = engine.open_session(instance)
-        # Prime-then-batch (DESIGN.md §8.3): the first request runs
-        # serially so the batched remainder warm-starts.
-        reports = engine.batch(session, requests, max_workers=args.workers)
+        if args.shard_workers is not None:
+            # Multi-process tier (DESIGN.md §12): instances live in
+            # shared memory, shard workers own the sessions.  Same
+            # determinism contract, same rows, bit-identical reports.
+            reports = engine.batch(
+                instance, requests,
+                executor="process", workers=args.shard_workers,
+            )
+            stats = ("fleet_stats", engine.shard_executor(args.shard_workers).stats())
+        else:
+            session = engine.open_session(instance)
+            # Prime-then-batch (DESIGN.md §8.3): the first request runs
+            # serially so the batched remainder warm-starts.
+            reports = engine.batch(session, requests, max_workers=args.workers)
+            stats = ("session_stats", session.stats.as_dict())
     except ValueError as exc:
         # e.g. capacity_updates naming a vertex outside the instance
         print(f"invalid request for this instance: {exc}", file=sys.stderr)
         return 2
+    except RuntimeError as exc:
+        print(f"sharded batch failed: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        engine.close()
     for i, report in enumerate(reports):
         row = {"request": i, **report.summary()}
         row["warm_start"] = bool(report.meta.get("warm_start"))
@@ -186,10 +202,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if tag is not None:
             row["tag"] = tag
         print(json.dumps(row))
-    print(
-        json.dumps({"session_stats": session.stats.as_dict()}),
-        file=sys.stderr,
-    )
+    print(json.dumps({stats[0]: stats[1]}), file=sys.stderr)
     return 0
 
 
@@ -258,21 +271,36 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
                 )
                 return 2
     try:
-        # Prime (the initial cold solve that establishes the warm state
-        # every subsequent incremental re-solve starts from), then the
-        # replay — one engine call.
-        outcome = engine.stream(dynamic, deltas)
+        if args.shard_workers is not None:
+            # Replay on the instance's shard worker (DESIGN.md §12):
+            # the delta chain runs remotely against a shared-memory
+            # attach of the instance, bit-identical to the in-process
+            # replay below.
+            fleet = engine.shard_executor(args.shard_workers)
+            outcome = fleet.run_replay(instance, deltas, seed=args.seed)
+            rows, dynamic_stats = list(outcome.rows), outcome.stats
+        else:
+            # Prime (the initial cold solve that establishes the warm
+            # state every subsequent incremental re-solve starts from),
+            # then the replay — one engine call.
+            outcome = engine.stream(dynamic, deltas)
+            rows, dynamic_stats = outcome.rows(), dynamic.stats.as_dict()
     except ValueError as exc:
         # e.g. a delta naming a vertex outside the instance
         print(f"invalid delta stream for this instance: {exc}", file=sys.stderr)
         return 2
+    except RuntimeError as exc:
+        print(f"sharded replay failed: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        engine.close()
     assert outcome.prime is not None
     print(json.dumps({"step": "prime", "local_rounds": outcome.prime.local_rounds,
                       "final_size": outcome.prime.size}))
-    for row in outcome.rows():
+    for row in rows:
         print(json.dumps(row))
     print(
-        json.dumps({"dynamic_stats": dynamic.stats.as_dict()}),
+        json.dumps({"dynamic_stats": dynamic_stats}),
         file=sys.stderr,
     )
     return 0
@@ -368,6 +396,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="session default: skip boosting")
     p_batch.add_argument("--workers", type=int, default=None,
                          help="thread pool size (default: cpu-based)")
+    p_batch.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="serve through a multi-process shard fleet of this size "
+             "(shared-memory instances, instance-hash routing; "
+             "bit-identical to the thread path — DESIGN.md §12)",
+    )
     _add_engine_flags(p_batch)
     p_batch.set_defaults(fn=_cmd_batch)
 
@@ -397,6 +431,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="prime/replay seed (per-position streams)")
     p_dyn.add_argument("--no-boost", action="store_true",
                        help="session default: skip boosting")
+    p_dyn.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="replay on a shard worker process instead of in-process "
+             "(bit-identical rows — DESIGN.md §12)",
+    )
     _add_engine_flags(p_dyn)
     p_dyn.set_defaults(fn=_cmd_dynamic)
 

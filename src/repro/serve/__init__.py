@@ -14,6 +14,10 @@ shape:
 * :func:`replay_stream` — drive a :class:`repro.dynamic.DynamicSession`
   through a delta stream, re-solving (warm) after every event
   (DESIGN.md §9).
+* :class:`ShardedExecutor` — the multi-process tier (DESIGN.md §12):
+  N shard workers with resident session fleets, instances published to
+  ``multiprocessing.shared_memory`` (:mod:`repro.serve.shm`) and
+  routed by stable content hash, bit-identical to the thread path.
 
 Cold solves stay bit-identical to
 :func:`repro.core.pipeline.solve_allocation`; warm solves pass the
@@ -31,6 +35,18 @@ from repro.serve.session import (
     SolveRequest,
     check_integral_feasible,
 )
+from repro.serve.shm import (
+    AttachedInstance,
+    SharedInstance,
+    SharedInstanceDescriptor,
+    attach_instance,
+    instance_hash,
+)
+
+# Imported last: sharding pulls in repro.api (config/report), which may
+# itself be mid-import via engine → repro.serve.session; by this point
+# every serve submodule it needs is already in sys.modules.
+from repro.serve.sharding import ShardedExecutor, ShardReplayResult
 
 __all__ = [
     "AllocationSession",
@@ -41,4 +57,11 @@ __all__ = [
     "solve_stream",
     "ReplayStep",
     "replay_stream",
+    "instance_hash",
+    "SharedInstance",
+    "SharedInstanceDescriptor",
+    "AttachedInstance",
+    "attach_instance",
+    "ShardedExecutor",
+    "ShardReplayResult",
 ]

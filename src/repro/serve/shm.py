@@ -1,0 +1,360 @@
+"""Shared-memory instance workspaces for sharded serving (DESIGN.md §12).
+
+The process-pool serving layer (:mod:`repro.serve.sharding`) must hand
+each shard worker the instance it serves *without* pickling O(edges)
+arrays per request or rebuilding :class:`~repro.kernels.RoundWorkspace`
+layouts per process.  This module is the one-sided-communication
+discipline for that: the dispatcher *publishes* an instance once —
+every CSR array, the capacities, **and** the derived per-side layout
+invariants (degrees, slot-owner gather indices, non-empty masks,
+``reduceat`` offsets) — packed into a single named
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and
+workers *attach* by name, reconstructing a zero-copy
+:class:`~repro.graphs.instances.AllocationInstance` whose arrays are
+read-only views over the segment, with the kernel workspace assembled
+via :func:`repro.kernels.attach_workspace` instead of re-derived.
+
+A second, small, *mutable* segment per instance holds the retained
+converged β exponent vector behind a version counter: the owning shard
+writes it after each committed batch, and a worker (re)building the
+session — including one respawned after a crash — primes its warm
+state from it, so warmth survives worker restarts without any request
+replay.
+
+Ownership: the publishing process (the dispatcher) owns both segments
+and is the only one that ever unlinks them
+(:meth:`SharedInstance.unlink`, called by
+``ShardedExecutor.close()``).  Workers only ever attach and close.
+
+Routing keys off :func:`instance_hash`: a stable content hash of the
+instance (structure + capacities), so the same instance always lands
+on the same shard and finds its warm session — the "same instance →
+same shard → warm hit" rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.instances import AllocationInstance
+from repro.kernels import RoundWorkspace, SegmentLayout, attach_workspace
+
+__all__ = [
+    "instance_hash",
+    "ArraySpec",
+    "SharedInstanceDescriptor",
+    "SharedInstance",
+    "AttachedInstance",
+    "attach_instance",
+]
+
+_ALIGN = 16  # byte alignment of every packed array
+
+# The instance arrays packed into the segment, in order.  Graph arrays
+# come straight off the BipartiteGraph; *_deg/_owner/_nonempty/_starts
+# are the SegmentLayout invariants the attach side adopts instead of
+# re-deriving (DESIGN.md §6 lists what each one replaces).
+_GRAPH_FIELDS = (
+    "edge_u",
+    "edge_v",
+    "left_indptr",
+    "left_adj",
+    "left_edge",
+    "right_indptr",
+    "right_adj",
+    "right_edge",
+)
+
+
+def instance_hash(instance: AllocationInstance) -> str:
+    """Stable content hash of an instance (hex sha256).
+
+    Covers everything that changes what a solve computes: the vertex
+    counts, the canonical edge arrays, and the capacity vector.  The
+    display ``name`` and free-form ``metadata`` are deliberately
+    excluded — two instances with identical structure and capacities
+    are the *same* serving target and must route to the same shard.
+    """
+    g = instance.graph
+    h = hashlib.sha256()
+    h.update(f"repro-instance-v1:{g.n_left}:{g.n_right}:{g.n_edges}".encode())
+    for arr in (g.edge_u, g.edge_v, instance.capacities):
+        a = np.ascontiguousarray(arr)
+        h.update(a.dtype.str.encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one packed array inside the shared segment."""
+
+    field: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedInstanceDescriptor:
+    """Everything a worker needs to attach: plain picklable metadata.
+
+    Travels over the task queue once per (instance, worker); the heavy
+    arrays never do.
+    """
+
+    segment: str
+    exponents_segment: str
+    content_hash: str
+    n_left: int
+    n_right: int
+    arrays: tuple[ArraySpec, ...]
+    name: str
+    arboricity_upper_bound: Optional[int]
+    metadata: dict[str, Any]
+
+
+def _pack_layout(prefix: str, layout: SegmentLayout) -> list[tuple[str, np.ndarray]]:
+    return [
+        (f"{prefix}_deg", layout.degrees),
+        (f"{prefix}_owner", layout.slot_owner),
+        (f"{prefix}_nonempty", layout.nonempty),
+        (f"{prefix}_starts", layout.reduce_starts),
+    ]
+
+
+class SharedInstance:
+    """Owner-side handle: the published segments of one instance.
+
+    Create with :meth:`publish`; the owner must eventually call
+    :meth:`unlink` (closing implies nothing for other processes —
+    unlink is what frees ``/dev/shm``).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        exp_shm: shared_memory.SharedMemory,
+        descriptor: SharedInstanceDescriptor,
+    ):
+        self._shm = shm
+        self._exp_shm = exp_shm
+        self.descriptor = descriptor
+
+    @classmethod
+    def publish(
+        cls, instance: AllocationInstance, *, prefix: str = "repro"
+    ) -> "SharedInstance":
+        """Pack ``instance`` (arrays + layout invariants) into fresh
+        shared-memory segments and return the owning handle.
+
+        Segment names carry a random suffix, so concurrent executors —
+        or a fresh executor after a crash left stale segments — never
+        collide or inherit another fleet's state.
+        """
+        g = instance.graph
+        content = instance_hash(instance)
+        arrays: list[tuple[str, np.ndarray]] = [
+            (field, getattr(g, field)) for field in _GRAPH_FIELDS
+        ]
+        arrays.append(("capacities", instance.capacities))
+        arrays.extend(_pack_layout("left", g.left_layout))
+        arrays.extend(_pack_layout("right", g.right_layout))
+
+        specs: list[ArraySpec] = []
+        offset = 0
+        for field, arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+            specs.append(ArraySpec(field, arr.dtype.str, arr.shape, offset))
+            offset += arr.nbytes
+        token = secrets.token_hex(4)
+        seg_name = f"{prefix}_{os.getpid()}_{token}_{content[:12]}"
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=seg_name
+        )
+        for spec, (_, arr) in zip(specs, arrays):
+            arr = np.ascontiguousarray(arr)
+            dst = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype),
+                buffer=shm.buf, offset=spec.offset,
+            )
+            dst[...] = arr
+
+        # Exponents segment: int64 version counter, then one int64 β
+        # exponent per right vertex.  version == 0 means "no warm state
+        # retained yet".
+        exp_shm = shared_memory.SharedMemory(
+            create=True, size=8 + 8 * max(g.n_right, 1), name=f"{seg_name}_exp"
+        )
+        np.ndarray((1,), dtype=np.int64, buffer=exp_shm.buf)[0] = 0
+
+        descriptor = SharedInstanceDescriptor(
+            segment=seg_name,
+            exponents_segment=f"{seg_name}_exp",
+            content_hash=content,
+            n_left=g.n_left,
+            n_right=g.n_right,
+            arrays=tuple(specs),
+            name=instance.name,
+            arboricity_upper_bound=instance.arboricity_upper_bound,
+            metadata=dict(instance.metadata),
+        )
+        return cls(shm, exp_shm, descriptor)
+
+    # -- owner-side warm-state introspection ----------------------------
+    def exponents(self) -> tuple[int, Optional[np.ndarray]]:
+        """``(version, β vector copy)`` — ``(0, None)`` before the
+        owning shard's first committed batch."""
+        version = int(np.ndarray((1,), dtype=np.int64, buffer=self._exp_shm.buf)[0])
+        if version <= 0:
+            return version, None
+        vec = np.ndarray(
+            (self.descriptor.n_right,), dtype=np.int64,
+            buffer=self._exp_shm.buf, offset=8,
+        )
+        return version, vec.copy()
+
+    def close(self) -> None:
+        for shm in (self._shm, self._exp_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views alive
+                pass
+
+    def unlink(self) -> None:
+        """Free the segments (owner only; idempotent)."""
+        for shm in (self._shm, self._exp_shm):
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self.close()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting ownership.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment
+    with the resource tracker even for a pure attach, which (a) would
+    unlink the dispatcher's segment when a worker exits and (b) — with
+    the fork start method, where every process shares one tracker —
+    clobbers the *publisher's* legitimate registration the moment any
+    attacher unregisters.  Suppressing registration for the duration of
+    the attach restores the documented ownership rule: only the
+    publisher registers, only the publisher unlinks.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+class AttachedInstance:
+    """Worker-side handle: a zero-copy instance over shared segments.
+
+    ``instance`` is a fully functional
+    :class:`~repro.graphs.instances.AllocationInstance`: its graph
+    arrays are read-only views into the shared segment, its
+    :class:`~repro.kernels.RoundWorkspace` is attached from the
+    published layout invariants (no re-derivation), and the usual
+    session machinery runs on it unchanged.  Keep the handle alive as
+    long as the instance is in use — it pins the mapping.
+    """
+
+    def __init__(self, descriptor: SharedInstanceDescriptor):
+        self.descriptor = descriptor
+        self._shm = _attach_segment(descriptor.segment)
+        self._exp_shm = _attach_segment(descriptor.exponents_segment)
+
+        views: dict[str, np.ndarray] = {}
+        for spec in descriptor.arrays:
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf, offset=spec.offset,
+            )
+            view.setflags(write=False)
+            views[spec.field] = view
+
+        graph = BipartiteGraph(
+            n_left=descriptor.n_left,
+            n_right=descriptor.n_right,
+            **{field: views[field] for field in _GRAPH_FIELDS},
+        )
+        left = SegmentLayout.from_invariants(
+            graph.left_indptr,
+            degrees=views["left_deg"],
+            slot_owner=views["left_owner"],
+            nonempty=views["left_nonempty"],
+            reduce_starts=views["left_starts"],
+        )
+        right = SegmentLayout.from_invariants(
+            graph.right_indptr,
+            degrees=views["right_deg"],
+            slot_owner=views["right_owner"],
+            nonempty=views["right_nonempty"],
+            reduce_starts=views["right_starts"],
+        )
+        self.workspace: RoundWorkspace = attach_workspace(graph, left, right)
+        self.instance = AllocationInstance(
+            graph=graph,
+            capacities=views["capacities"],
+            arboricity_upper_bound=descriptor.arboricity_upper_bound,
+            name=descriptor.name,
+            metadata=dict(descriptor.metadata),
+        )
+
+    # -- warm-state handoff ---------------------------------------------
+    def load_exponents(self) -> Optional[np.ndarray]:
+        """The retained β vector (copy), or ``None`` when no batch has
+        committed yet (version counter still 0)."""
+        version = int(np.ndarray((1,), dtype=np.int64, buffer=self._exp_shm.buf)[0])
+        if version <= 0:
+            return None
+        vec = np.ndarray(
+            (self.descriptor.n_right,), dtype=np.int64,
+            buffer=self._exp_shm.buf, offset=8,
+        )
+        return vec.copy()
+
+    def store_exponents(self, exponents: np.ndarray) -> None:
+        """Publish the converged β vector (vector first, then the
+        version bump, so a reader never sees a version without data)."""
+        vec = np.asarray(exponents, dtype=np.int64)
+        if vec.shape != (self.descriptor.n_right,):
+            raise ValueError(
+                f"exponents must have shape ({self.descriptor.n_right},), "
+                f"got {vec.shape}"
+            )
+        dst = np.ndarray(
+            (self.descriptor.n_right,), dtype=np.int64,
+            buffer=self._exp_shm.buf, offset=8,
+        )
+        dst[...] = vec
+        header = np.ndarray((1,), dtype=np.int64, buffer=self._exp_shm.buf)
+        header[0] += 1
+
+    def close(self) -> None:
+        """Release the worker's mapping (never unlinks)."""
+        for shm in (self._shm, self._exp_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views still exported
+                pass
+
+
+def attach_instance(descriptor: SharedInstanceDescriptor) -> AttachedInstance:
+    """Attach to a published instance by descriptor (worker side)."""
+    return AttachedInstance(descriptor)
