@@ -47,6 +47,12 @@ if pytest is not None:
         assert faithful
         assert faithful[0]["space_violations"] == 0
         assert faithful[0]["peak_machine_words"] <= faithful[0]["machine_budget_words"]
+        # Adaptive rows: same budget respected, trajectory audited.
+        adaptive = [r for r in table.rows if r["mode"] == "faithful(adaptive)"]
+        assert adaptive
+        assert all(r["space_violations"] == 0 for r in adaptive)
+        assert all(r["certificate_crosscheck"] for r in adaptive)
+        assert all(r["budget_trajectory"] for r in adaptive)
 
 
 # ----------------------------------------------------------------------
@@ -79,7 +85,13 @@ def run_round_ledger_benchmarks(scale: str) -> dict:
             inst, EPSILON, alpha=ALPHA, lam=2, mode="simulate", sampler="keyed",
             seed=0, sample_budget=_SAMPLE_BUDGET,
         )
-        if faithful.ledger.violations:  # must survive python -O
+        adaptive = solve_allocation_mpc(
+            inst, EPSILON, alpha=ALPHA, lam=2, mode="faithful", seed=0,
+            sample_budget=_SAMPLE_BUDGET, space_slack=slack,
+            budget_policy="adaptive",
+        )
+        if faithful.ledger.violations or adaptive.ledger.violations:
+            # must survive python -O
             raise RuntimeError(f"space violations at n={n}: refusing to record")
         rows.append(
             {
@@ -101,6 +113,24 @@ def run_round_ledger_benchmarks(scale: str) -> dict:
                     np.array_equal(faithful.allocation.x, simulate.allocation.x)
                 ),
                 "faithful_seconds": round(t_faithful, 4),
+                # The adaptive budget policy on the same instance: peak
+                # words and the audited per-phase throttle trajectory
+                # (DESIGN.md §13).
+                "adaptive_peak_machine_words": adaptive.ledger.peak_machine_words,
+                "adaptive_certificate_crosscheck": bool(
+                    adaptive.meta["certificate_crosscheck"]
+                ),
+                "adaptive_trajectory": [
+                    {
+                        "phase": r["phase"],
+                        "budget": r["sample_budget"],
+                        "decision": r["decision"],
+                        "accepted": r["accepted"],
+                        "predicted_peak_words": r["predicted_peak_words"],
+                        "observed_peak_words": r["observed_peak_words"],
+                    }
+                    for r in adaptive.ledger.trajectory
+                ],
             }
         )
     return {

@@ -266,6 +266,12 @@ def run_backend_benchmarks(scale: str) -> dict:
     dynamics must not)."""
     availability = backend_availability()
     usable = [b for b in _BACKENDS if availability.get(b) is None]
+    # Recorded form: an explicit "available" marker instead of the
+    # probe's None (which JSON would render as an ambiguous null).
+    availability_recorded = {
+        name: ("available" if reason is None else reason)
+        for name, reason in availability.items()
+    }
 
     sizes = _SIZES[scale]
     rounds = 40
@@ -371,7 +377,7 @@ def run_backend_benchmarks(scale: str) -> dict:
     payload = {
         "benchmark": "round kernel: reference vs optimized vs native backend",
         "scale": scale,
-        "backend_availability": availability,
+        "backend_availability": availability_recorded,
         "round_kernel": per_size,
         "primitive_breakdown_ms": breakdown,
         "solve_allocation_many": batch_section,

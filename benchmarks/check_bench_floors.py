@@ -72,6 +72,26 @@ def check_mpc_substrate(payload: dict) -> list[str]:
     return problems
 
 
+def check_mpc_adaptive(payload: dict) -> list[str]:
+    problems = []
+    bar = payload.get("frontier_bar")
+    if not isinstance(bar, dict):
+        problems.append("frontier_bar missing")
+        return problems
+    if bar.get("met") is not True:
+        problems.append(
+            f"frontier_bar not met (frontier_ratio="
+            f"{payload.get('frontier_ratio')!r}, "
+            f"threshold={bar.get('threshold')!r})"
+        )
+    ratio = payload.get("frontier_ratio", 0)
+    if not isinstance(ratio, (int, float)) or ratio < 4.0:
+        problems.append(f"frontier_ratio {ratio!r} < 4.0 floor")
+    if payload.get("certificates_bit_checked") is not True:
+        problems.append("certificates_bit_checked is not true")
+    return problems
+
+
 def check_sharding(payload: dict) -> list[str]:
     problems = []
     if payload.get("determinism_bit_identical") is not True:
@@ -100,14 +120,20 @@ CHECKS = (
     ("BENCH_dynamic.json", True, check_dynamic),
     ("BENCH_kernels.json", True, check_kernels),
     ("BENCH_mpc_substrate.json", True, check_mpc_substrate),
+    ("BENCH_mpc_adaptive.json", True, check_mpc_adaptive),
     ("BENCH_sharding.json", True, check_sharding),
 )
 
 
-def main() -> int:
+def run_checks(root: Path = ROOT) -> list[str]:
+    """All floor failures under ``root`` (empty = every bar holds).
+
+    ``root`` is injectable so the checker itself is unit-testable
+    against synthetic payload trees (tests/test_check_bench_floors.py).
+    """
     failures: list[str] = []
     for name, required, checker in CHECKS:
-        path = ROOT / name
+        path = root / name
         if not path.exists():
             if required:
                 failures.append(_fail(name, "missing from the repo root"))
@@ -119,6 +145,11 @@ def main() -> int:
             continue
         for problem in checker(payload):
             failures.append(_fail(name, problem))
+    return failures
+
+
+def main(root: Path = ROOT) -> int:
+    failures = run_checks(root)
     if failures:
         print("benchmark floor regression(s):", file=sys.stderr)
         for failure in failures:

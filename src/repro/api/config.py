@@ -31,6 +31,7 @@ __all__ = ["CONFIG_SCHEMA", "SolverConfig"]
 CONFIG_SCHEMA = "repro.api/SolverConfig/v1"
 
 _MODES = ("simulate", "faithful")
+_BUDGET_POLICIES = ("fixed", "adaptive")
 _BOOST_MODES = ("layered", "deterministic")
 _EXECUTORS = ("thread", "process")
 
@@ -60,6 +61,17 @@ class SolverConfig:
         Fractional-solve validation mode: ``"simulate"`` (the scale
         path) or ``"faithful"`` (every communication step executed on
         an accounted cluster — DESIGN.md §5).
+    mpc_budget_policy:
+        Faithful-mode sample-budget policy: ``"fixed"`` (the
+        historical static budget) or ``"adaptive"`` (the peak-hold
+        throttling controller, DESIGN.md §13 — ramps the per-round
+        budget while predicted peak machine words stay under
+        ``mpc_safety_fraction·S`` and backs off before a
+        ``SpaceViolation``).  Only meaningful with
+        ``mode="faithful"``; rejected otherwise.
+    mpc_safety_fraction:
+        The adaptive controller's safety band as a fraction of the
+        per-machine space budget S (default 0.8, range (0, 1]).
     seed:
         Default seed for calls that do not pass one (the seed policy:
         explicit per-call seeds always win).
@@ -89,6 +101,8 @@ class SolverConfig:
     backend: Optional[str] = None
     substrate: Optional[str] = None
     mode: str = "simulate"
+    mpc_budget_policy: str = "fixed"
+    mpc_safety_fraction: float = 0.8
     seed: Optional[int] = None
     stages: Optional[tuple[str, ...]] = None
     repair: bool = True
@@ -133,6 +147,23 @@ class SolverConfig:
             )
         if self.mode not in _MODES:
             raise ValueError(f"mode must be one of {list(_MODES)}, got {self.mode!r}")
+        if self.mpc_budget_policy not in _BUDGET_POLICIES:
+            raise ValueError(
+                f"mpc_budget_policy must be one of {list(_BUDGET_POLICIES)}, "
+                f"got {self.mpc_budget_policy!r}"
+            )
+        if self.mpc_budget_policy == "adaptive" and self.mode != "faithful":
+            raise ValueError(
+                "mpc_budget_policy='adaptive' requires mode='faithful' — "
+                "the simulate path has no accounted cluster to throttle"
+            )
+        object.__setattr__(
+            self,
+            "mpc_safety_fraction",
+            check_fraction(
+                self.mpc_safety_fraction, "mpc_safety_fraction", inclusive_high=1.0
+            ),
+        )
         if self.boost_mode not in _BOOST_MODES:
             raise ValueError(
                 f"boost_mode must be one of {list(_BOOST_MODES)}, "
@@ -204,6 +235,9 @@ class SolverConfig:
             options["mode"] = self.mode
         if self.substrate is not None:
             options["substrate"] = self.substrate
+        if self.mpc_budget_policy != "fixed":
+            options["budget_policy"] = self.mpc_budget_policy
+            options["safety_fraction"] = self.mpc_safety_fraction
         return options
 
     def build_stages(self):

@@ -276,7 +276,8 @@ class Engine:
         cluster representation).  Extra keywords forward to
         :func:`~repro.core.mpc_driver.solve_allocation_mpc`, winning
         over the config's value for config-backed parameters
-        (``mode``, ``substrate``, ``alpha``, ``lam``).
+        (``mode``, ``substrate``, ``alpha``, ``lam``,
+        ``budget_policy``, ``safety_fraction``).
         Bit-identical to the direct call on the same config."""
         if seed is None:
             seed = self.config.seed
@@ -285,6 +286,8 @@ class Engine:
             "lam": self.config.lam,
             "mode": self.config.mode,
             "substrate": self.config.substrate,
+            "budget_policy": self.config.mpc_budget_policy,
+            "safety_fraction": self.config.mpc_safety_fraction,
             "initial_exponents": initial_exponents,
         }
         call_kwargs.update(mpc_kwargs)

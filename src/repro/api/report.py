@@ -68,6 +68,7 @@ def _ledger_dict(ledger: MPCRoundLedger) -> dict[str, Any]:
         "peak_global_words": ledger.peak_global_words,
         "peak_routed_records": ledger.peak_routed_records,
         "violations": list(ledger.violations),
+        "trajectory": [dict(row) for row in ledger.trajectory],
     }
 
 
@@ -343,6 +344,7 @@ class AllocationReport:
             peak_global_words=int(d["peak_global_words"]),
             peak_routed_records=int(d["peak_routed_records"]),
             violations=list(d["violations"]),
+            trajectory=[dict(row) for row in d.get("trajectory", [])],
         )
 
     @property

@@ -86,6 +86,13 @@ def _engine_from_args(args: argparse.Namespace, *, session_prefix: str = ""):
             epsilon=args.epsilon,
             backend=backend,
             substrate=substrate,
+            mode=getattr(args, "mpc_mode", None) or "simulate",
+            mpc_budget_policy=getattr(args, "mpc_budget_policy", None) or "fixed",
+            mpc_safety_fraction=(
+                0.8
+                if getattr(args, "mpc_safety_fraction", None) is None
+                else args.mpc_safety_fraction
+            ),
             boost=not args.no_boost,
             seed=args.seed,
         )
@@ -111,12 +118,31 @@ def _engine_from_args(args: argparse.Namespace, *, session_prefix: str = ""):
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default=None,
-        help="kernel backend: reference|optimized|native (native needs a "
-        "C compiler; see repro.kernels.backend_availability)",
+        help="kernel backend: reference|optimized|native|auto (native "
+        "needs a C compiler; auto picks optimized below the measured "
+        "native crossover and native above it; see "
+        "repro.kernels.backend_availability)",
     )
     parser.add_argument(
         "--substrate", default=None,
         help="faithful-mode MPC substrate (object|columnar)",
+    )
+    parser.add_argument(
+        "--mpc-mode", default=None, dest="mpc_mode",
+        help="MPC execution mode: simulate (default) | faithful "
+        "(accounted cluster, DESIGN.md §5)",
+    )
+    parser.add_argument(
+        "--mpc-budget-policy", default=None, dest="mpc_budget_policy",
+        help="faithful-mode sample-budget policy: fixed (default) | "
+        "adaptive (peak-hold throttling under the space budget, "
+        "DESIGN.md §13; requires --mpc-mode faithful)",
+    )
+    parser.add_argument(
+        "--mpc-safety-fraction", type=float, default=None,
+        dest="mpc_safety_fraction",
+        help="adaptive policy's safety band as a fraction of the "
+        "per-machine space budget S (default 0.8)",
     )
 
 

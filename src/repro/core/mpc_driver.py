@@ -49,10 +49,12 @@ from repro.core.sampled import SampledRun
 from repro.core.termination import CertificateStatus, neighbors_of_right_set
 from repro.graphs.instances import AllocationInstance
 from repro.kernels import RoundWorkspace, workspace_for
+from repro.mpc.adaptive import AdaptiveBudgetController
 from repro.mpc.cluster import MPCCluster, cluster_for
 from repro.mpc.columnar import ColumnarCluster
 from repro.mpc.columns import ColumnBatch
-from repro.mpc.exponentiation import collect_balls
+from repro.mpc.exponentiation import ball_record_words, collect_balls
+from repro.mpc.machine import SpaceViolation
 from repro.mpc.primitives import route_by_key, tree_reduce, tree_reduce_vector
 from repro.utils.validation import check_fraction
 
@@ -78,6 +80,10 @@ class MPCRoundLedger:
     peak_global_words: int = 0
     peak_routed_records: int = 0      # worst per-machine routing fan-in
     violations: list[str] = field(default_factory=list)
+    # One row per executed faithful phase (and per discarded adaptive
+    # attempt): budget decision, predicted vs observed peak words, and
+    # the phase's distributional load metrics (DESIGN.md §13).
+    trajectory: list[dict] = field(default_factory=list)
 
     def record_routing(self, histogram) -> None:
         """Track the routing-skew peak from a route_by_key histogram."""
@@ -159,6 +165,27 @@ def _evaluate_certificate_from_run(run: SampledRun, epsilon: float) -> Certifica
     )
 
 
+def _certificates_agree(a: CertificateStatus, b: CertificateStatus) -> bool:
+    """Exact agreement of the two certificate evaluations, modulo
+    float summation order.
+
+    Every counting field and both stopping conditions must match
+    bit-for-bit; ``upper_mass`` is a float fold whose distributed
+    (tree-reduce) and host (``np.sum`` pairwise) summation orders may
+    differ by ulps, so it is compared to relative 1e-9."""
+    return (
+        a.rounds == b.rounds
+        and a.n_prime == b.n_prime
+        and a.l0_size == b.l0_size
+        and a.top_size == b.top_size
+        and a.small_frontier == b.small_frontier
+        and a.mass_condition == b.mass_condition
+        and a.epsilon == b.epsilon
+        and abs(a.upper_mass - b.upper_mass)
+        <= 1e-9 * max(1.0, abs(a.upper_mass), abs(b.upper_mass))
+    )
+
+
 def _phase_sampled_edges(run: SampledRun, rounds_in_phase: int) -> np.ndarray:
     """Pre-draw the phase's samples and return the union sampled graph.
 
@@ -189,22 +216,47 @@ def _phase_sampled_edges(run: SampledRun, rounds_in_phase: int) -> np.ndarray:
     return np.stack([codes // n_merged, codes % n_merged], axis=1)
 
 
+def _category_words_moved(cluster, log_start: int) -> dict[str, int]:
+    """Words moved per round category since ``log_start``, from the
+    cluster's round log (labels like ``exponentiation/request`` fold
+    into their category prefix)."""
+    moved: dict[str, int] = {}
+    for entry in cluster.round_log[log_start:]:
+        category = entry.label.split("/", 1)[0]
+        if category in ("certificate",):
+            category = "termination_test"
+        moved[category] = moved.get(category, 0) + int(entry.total_words_moved)
+    return moved
+
+
 def _faithful_phase(
     run: SampledRun,
     cluster: MPCCluster | ColumnarCluster,
     rounds_in_phase: int,
     ledger: MPCRoundLedger,
-) -> None:
+) -> dict[str, Any]:
     """Execute one phase's *communication* on the cluster.
 
     Builds the union sampled graph (:func:`_phase_sampled_edges`) and
     collects radius-``2B`` balls by graph exponentiation with full
     space accounting.  Record construction dispatches on the substrate
     (DESIGN.md §7); the round schedule and word charges are identical.
+
+    Returns the phase's distributional load metrics — ball payload
+    percentiles, per-category words moved, and routing skew — which the
+    driver records as a round-ledger trajectory row (DESIGN.md §13).
     """
     g = run.graph
     pairs = _phase_sampled_edges(run, rounds_in_phase)
     columnar = isinstance(cluster, ColumnarCluster)
+    log_start = len(cluster.round_log)
+    skews: list[float] = []
+
+    def note_skew(histogram) -> None:
+        if histogram is not None and histogram.size and histogram.sum() > 0:
+            skews.append(
+                float(histogram.max()) * histogram.size / float(histogram.sum())
+            )
 
     # Level grouping round: co-locate each vertex's incident sampled
     # edges (the grouping information) by vertex id.
@@ -220,6 +272,7 @@ def _faithful_phase(
             return_histogram=True,
         )
     ledger.record_routing(hist)
+    note_skew(hist)
     ledger.charge("grouping", 1)
     ledger.charge("sampling", 1)  # the sample-announcement round
 
@@ -228,14 +281,22 @@ def _faithful_phase(
     # N(v), which needs β̂ from N(N(v))), so B rounds need radius-2B
     # balls — verified executable in repro.core.ball_replay.  The +1
     # inside ⌈log₂(2B)⌉ is absorbed by the theorem's constants.
+    ball_words = np.zeros(0, dtype=np.int64)
     if rounds_in_phase >= 1:
-        _, exp_rounds = collect_balls(
+        balls, exp_rounds = collect_balls(
             cluster,
             g.n_vertices,
             [tuple(p) for p in pairs.tolist()],
             radius=2 * rounds_in_phase,
         )
         ledger.charge("exponentiation", exp_rounds)
+        if balls:
+            ball_words = np.sort(
+                np.asarray(
+                    [ball_record_words(edges) for edges in balls.values()],
+                    dtype=np.int64,
+                )
+            )
     # Write-back of updated β values: one routing round.
     if columnar:
         cluster.load_batches(
@@ -258,6 +319,7 @@ def _faithful_phase(
             return_histogram=True,
         )
     ledger.record_routing(hist)
+    note_skew(hist)
     ledger.charge("writeback", 1)
 
     ledger.peak_machine_words = max(
@@ -265,6 +327,19 @@ def _faithful_phase(
     )
     ledger.peak_global_words = max(ledger.peak_global_words, cluster.peak_global_words())
     ledger.violations.extend(cluster.violations)
+
+    def pct(q: float) -> float:
+        return float(np.percentile(ball_words, q)) if ball_words.size else 0.0
+
+    return {
+        "ball_count": int(ball_words.size),
+        "payload_words_p50": pct(50.0),
+        "payload_words_p95": pct(95.0),
+        "payload_words_p99": pct(99.0),
+        "payload_words_max": int(ball_words[-1]) if ball_words.size else 0,
+        "words_moved": _category_words_moved(cluster, log_start),
+        "routing_skew": max(skews) if skews else 1.0,
+    }
 
 
 def _faithful_certificate_test(
@@ -413,6 +488,8 @@ def solve_allocation_mpc(
     lam: Optional[int] = None,
     sample_budget: Optional[int] = None,
     mode: Literal["simulate", "faithful"] = "simulate",
+    budget_policy: Literal["fixed", "adaptive"] = "fixed",
+    safety_fraction: float = 0.8,
     estimator: Literal["stratified", "pooled"] = "stratified",
     sampler: Optional[Literal["keyed", "fast"]] = None,
     seed=None,
@@ -457,10 +534,33 @@ def solve_allocation_mpc(
     sound at any round, so every guess runs from the given vector and
     the usual certificate gates termination.  The converged vector is
     returned as ``final_exponents`` for the next warm solve.
+
+    ``budget_policy="adaptive"`` (faithful mode only, DESIGN.md §13)
+    replaces the fixed per-round sample budget with an
+    :class:`~repro.mpc.adaptive.AdaptiveBudgetController`: each phase
+    runs at a budget chosen so the predicted peak machine words stay
+    under ``safety_fraction·S``, ramping when headroom exists and
+    throttling — or discarding the attempt and retrying halved, via
+    the fresh-cluster-per-phase protocol — before a
+    :class:`~repro.mpc.machine.SpaceViolation` kills the run.  The
+    allocation is still produced by the same keyed sampler and checked
+    by the same faithful certificate; only the per-phase budgets
+    differ from a fixed run.  Every decision lands in
+    ``ledger.trajectory``.
     """
     epsilon = check_fraction(epsilon, "epsilon", inclusive_high=0.25)
     if not (0.0 < alpha < 1.0):
         raise ValueError(f"alpha must lie in (0,1), got {alpha}")
+    if budget_policy not in ("fixed", "adaptive"):
+        raise ValueError(
+            f"budget_policy must be 'fixed' or 'adaptive', got {budget_policy!r}"
+        )
+    safety_fraction = check_fraction(
+        safety_fraction, "safety_fraction", inclusive_high=1.0
+    )
+    adaptive = budget_policy == "adaptive"
+    if adaptive and mode != "faithful":
+        raise ValueError("budget_policy='adaptive' requires mode='faithful'")
     graph = instance.graph
     if workspace is None:
         workspace = workspace_for(graph)
@@ -492,20 +592,122 @@ def solve_allocation_mpc(
             initial_exponents=initial_exponents,
         )
         cluster: Optional[MPCCluster | ColumnarCluster] = None
+        controller: Optional[AdaptiveBudgetController] = None
+        s_words: Optional[int] = None
+        total_words = 3 * (graph.n_edges + graph.n_vertices) + 16
         if mode == "faithful":
-            total_words = 3 * (graph.n_edges + graph.n_vertices) + 16
-            cluster = cluster_for(
-                total_words, n_for_alpha=n, alpha=alpha, slack=space_slack,
-                strict=True, substrate=substrate,
-            )
+            # The per-machine budget cluster_for will enforce (words =
+            # max(16, ⌊slack·n^α⌋)) — the adaptive controller's S.
+            s_words = max(16, int(space_slack * n ** alpha))
+            if adaptive:
+                # Fresh controller per guess: budget trajectories are
+                # per-(λ, schedule), not shared across guesses.
+                controller = AdaptiveBudgetController(
+                    budget_words=s_words,
+                    max_budget=run.sample_budget,
+                    safety_fraction=safety_fraction,
+                )
+            else:
+                cluster = cluster_for(
+                    total_words, n_for_alpha=n, alpha=alpha, slack=space_slack,
+                    strict=True, substrate=substrate,
+                )
         ledger.guesses.append(guess)
         schedule = _phase_round_schedule(block)
 
         while run.rounds_completed < tau:
             rounds_this_phase = min(block, tau - run.rounds_completed)
-            if mode == "faithful":
+            if mode == "faithful" and adaptive:
+                assert controller is not None and s_words is not None
+                budget, decision = controller.propose()
+                attempts = 0
+                while True:
+                    # Attempt the phase's communication at the proposed
+                    # budget on a fresh cluster with a scratch ledger —
+                    # _faithful_phase does not mutate the run, so a
+                    # violating attempt can be discarded and retried
+                    # lower before run_phase commits anything.
+                    attempts += 1
+                    run.sample_budget = budget
+                    cluster = cluster_for(
+                        total_words, n_for_alpha=n, alpha=alpha,
+                        slack=space_slack, strict=True, substrate=substrate,
+                    )
+                    scratch = MPCRoundLedger()
+                    try:
+                        metrics = _faithful_phase(
+                            run, cluster, rounds_this_phase, scratch
+                        )
+                    except SpaceViolation:
+                        observed = max(cluster.peak_machine_words(), s_words + 1)
+                        ledger.trajectory.append({
+                            "phase": ledger.phases,
+                            "guess": guess,
+                            "round_start": run.rounds_completed,
+                            "rounds": rounds_this_phase,
+                            "sample_budget": budget,
+                            "decision": "backoff",
+                            "attempts": attempts,
+                            "accepted": False,
+                            "predicted_peak_words": controller.predicted_peak(budget),
+                            "observed_peak_words": observed,
+                            "budget_words": s_words,
+                            "safety_fraction": safety_fraction,
+                        })
+                        retry = controller.backoff(budget, observed)
+                        if retry is None:
+                            raise
+                        budget, decision = retry, "backoff"
+                        continue
+                    break
+                predicted = controller.predicted_peak(budget)
+                observed = cluster.peak_machine_words()
+                controller.observe(budget, observed)
+                for category, rounds_used in scratch.by_category.items():
+                    ledger.charge(category, rounds_used)
+                ledger.peak_machine_words = max(
+                    ledger.peak_machine_words, scratch.peak_machine_words
+                )
+                ledger.peak_global_words = max(
+                    ledger.peak_global_words, scratch.peak_global_words
+                )
+                ledger.peak_routed_records = max(
+                    ledger.peak_routed_records, scratch.peak_routed_records
+                )
+                ledger.violations.extend(scratch.violations)
+                ledger.trajectory.append({
+                    "phase": ledger.phases,
+                    "guess": guess,
+                    "round_start": run.rounds_completed,
+                    "rounds": rounds_this_phase,
+                    "sample_budget": budget,
+                    "decision": decision,
+                    "attempts": attempts,
+                    "accepted": True,
+                    "predicted_peak_words": predicted,
+                    "observed_peak_words": observed,
+                    "budget_words": s_words,
+                    "safety_fraction": safety_fraction,
+                    **metrics,
+                })
+            elif mode == "faithful":
                 assert cluster is not None
-                _faithful_phase(run, cluster, rounds_this_phase, ledger)
+                metrics = _faithful_phase(run, cluster, rounds_this_phase, ledger)
+                ledger.trajectory.append({
+                    "phase": ledger.phases,
+                    "guess": guess,
+                    "round_start": run.rounds_completed,
+                    "rounds": rounds_this_phase,
+                    "sample_budget": run.sample_budget,
+                    "decision": "fixed",
+                    "attempts": 1,
+                    "accepted": True,
+                    "predicted_peak_words": None,
+                    "observed_peak_words": cluster.peak_machine_words(),
+                    "budget_words": s_words,
+                    "safety_fraction": None,
+                    **metrics,
+                })
             else:
                 for category, cost in schedule.items():
                     if category != "termination_test":
@@ -519,7 +721,30 @@ def solve_allocation_mpc(
                 continue
             if mode == "faithful":
                 assert cluster is not None
+                cert_log_start = len(cluster.round_log)
                 certificate = _faithful_certificate_test(run, cluster, ledger)
+                if ledger.trajectory:
+                    # Certificate traffic belongs to the phase that
+                    # triggered the test — fold it into that row's
+                    # per-category words-moved column.
+                    row = ledger.trajectory[-1]
+                    moved = dict(row.get("words_moved", {}))
+                    for category, words in _category_words_moved(
+                        cluster, cert_log_start
+                    ).items():
+                        moved[category] = moved.get(category, 0) + words
+                    row["words_moved"] = moved
+                if adaptive:
+                    # The accepted cluster is discarded after this
+                    # phase, so certificate-time peaks must be folded
+                    # into the ledger here (the fixed path carries them
+                    # into the next phase's cumulative peaks instead).
+                    ledger.peak_machine_words = max(
+                        ledger.peak_machine_words, cluster.peak_machine_words()
+                    )
+                    ledger.peak_global_words = max(
+                        ledger.peak_global_words, cluster.peak_global_words()
+                    )
             else:
                 ledger.charge("termination_test", schedule["termination_test"])
                 certificate = _evaluate_certificate_from_run(run, epsilon)
@@ -540,6 +765,24 @@ def solve_allocation_mpc(
     )
     # Theorem 17 factor for the sampled algorithm (k = 4 thresholds).
     guarantee = params.approx_factor_adaptive(epsilon, 4.0)
+    meta = {
+        "mode": mode,
+        "alpha": alpha,
+        "used_guess": used_guess,
+        "lambda_known": lam is not None,
+        "sample_budget": run.sample_budget,
+        "block": run.block,
+        "substrate": _active_substrate(substrate) if mode == "faithful" else None,
+        "warm_start": initial_exponents is not None,
+        "budget_policy": budget_policy,
+    }
+    if adaptive:
+        meta["safety_fraction"] = safety_fraction
+        # Bit-check: the throttled run's faithful certificate must
+        # agree with the host-side evaluation of the same run state.
+        meta["certificate_crosscheck"] = _certificates_agree(
+            certificate, _evaluate_certificate_from_run(run, epsilon)
+        )
     return MPCResult(
         allocation=allocation,
         match_weight=run.match_weight(),
@@ -549,15 +792,6 @@ def solve_allocation_mpc(
         certificate=certificate,
         guarantee=guarantee,
         epsilon=epsilon,
-        meta={
-            "mode": mode,
-            "alpha": alpha,
-            "used_guess": used_guess,
-            "lambda_known": lam is not None,
-            "sample_budget": run.sample_budget,
-            "block": run.block,
-            "substrate": _active_substrate(substrate) if mode == "faithful" else None,
-            "warm_start": initial_exponents is not None,
-        },
+        meta=meta,
         final_exponents=run.beta_exp.copy(),
     )

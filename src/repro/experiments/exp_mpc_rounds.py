@@ -7,10 +7,13 @@ Three comparisons per arboricity point:
    configuration, and
 3. the **AZM18 baseline** bill ``O(log n/ε²)``.
 
-A final faithful-mode row at small scale executes every communication
-step on the accounted cluster and reports peak per-machine words
-against the ``S = O(n^α)`` budget (zero violations required).  The
-shape note fits measured rounds against ``√log λ·log log λ``.
+Final faithful-mode rows at small scale execute every communication
+step on the accounted cluster and report peak per-machine words
+against the ``S = O(n^α)`` budget (zero violations required) — once
+under the fixed sample budget and once under the adaptive budget
+policy (DESIGN.md §13), whose per-phase budget trajectory and
+decisions become table columns.  The shape note fits measured rounds
+against ``√log λ·log log λ``.
 """
 
 from __future__ import annotations
@@ -115,6 +118,32 @@ def run(*, scale: Scale = "normal", seed: int = 0) -> Table:
             machine_budget_words=s_words,
             space_violations=len(res.ledger.violations),
             substrate=get_substrate(),
+        )
+
+        # Same instance under the adaptive budget policy (DESIGN.md
+        # §13): the per-phase budget trajectory becomes a column so the
+        # throttle's decisions are auditable next to the fixed row.
+        adaptive = solve_allocation_mpc(
+            inst, EPSILON, alpha=ALPHA, lam=2, mode="faithful", seed=seed,
+            sample_budget=6, space_slack=slack, budget_policy="adaptive",
+        )
+        accepted = [r for r in adaptive.ledger.trajectory if r["accepted"]]
+        table.add_row(
+            mode="faithful(adaptive)",
+            lambda_bound=2,
+            n=inst.graph.n_vertices,
+            m=inst.graph.n_edges,
+            mpc_rounds=adaptive.mpc_rounds,
+            local_rounds=adaptive.local_rounds,
+            peak_machine_words=adaptive.ledger.peak_machine_words,
+            machine_budget_words=s_words,
+            space_violations=len(adaptive.ledger.violations),
+            substrate=get_substrate(),
+            budget_trajectory="->".join(str(r["sample_budget"]) for r in accepted),
+            budget_decisions=",".join(
+                r["decision"] for r in adaptive.ledger.trajectory
+            ),
+            certificate_crosscheck=bool(adaptive.meta["certificate_crosscheck"]),
         )
 
     if len(ks) >= 2:

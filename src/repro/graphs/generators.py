@@ -51,6 +51,7 @@ __all__ = [
     "slow_spread_instance",
     "load_balancing_instance",
     "adwords_instance",
+    "skew_frontier_instance",
     "FAMILY_BUILDERS",
 ]
 
@@ -595,6 +596,59 @@ def adwords_instance(
     )
 
 
+def skew_frontier_instance(
+    n_left: int,
+    *,
+    left_degree: int = 12,
+    bg_right_degree: int = 8,
+    capacity: int = 2,
+    seed=None,
+) -> AllocationInstance:
+    """A right-side hub over a random bipartite background: λ ≤ left_degree.
+
+    Every left vertex is adjacent to a single hub (right vertex 0) plus
+    ``left_degree - 1`` uniformly random background right vertices
+    (sized so background right degrees average ``bg_right_degree``).
+    Left degrees stay ≤ ``left_degree``, so certificate traffic — which
+    the faithful driver routes by *left* keys — stays spread; but the
+    hub's exploration load (its ball, and fragment-join responses
+    through it) scales with the *sampled* hub degree, i.e. with the
+    per-round sample budget ``t``.
+
+    That makes this the stress family for adaptive budget throttling
+    (DESIGN.md §13, ``benchmarks/bench_mpc_adaptive.py``): at a fixed
+    absolute space budget ``S``, a generous fixed ``t`` overflows the
+    hub's machine as ``n`` grows, while a throttled budget completes —
+    the "largest runnable n" frontier is budget-limited, not
+    memory-limited.
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    left_degree = check_positive_int(left_degree, "left_degree")
+    bg_right_degree = check_positive_int(bg_right_degree, "bg_right_degree")
+    capacity = check_positive_int(capacity, "capacity")
+    rng = as_generator(seed)
+    n_bg = max(4, (n_left * (left_degree - 1)) // bg_right_degree)
+    n_right = 1 + n_bg
+    eu_parts = [np.arange(n_left, dtype=np.int64)]
+    ev_parts = [np.zeros(n_left, dtype=np.int64)]  # hub = right vertex 0
+    for _ in range(left_degree - 1):
+        eu_parts.append(np.arange(n_left, dtype=np.int64))
+        ev_parts.append(rng.integers(1, n_right, size=n_left).astype(np.int64))
+    eu, ev = _dedupe(n_left, n_right, np.concatenate(eu_parts), np.concatenate(ev_parts))
+    graph = build_graph(n_left, n_right, eu, ev)
+    caps = np.full(n_right, capacity, dtype=np.int64)
+    caps[0] = max(caps[0], 2)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=left_degree,
+        name=f"skew_frontier(n={n_left})",
+        metadata={"family": "skew_frontier", "n_left": n_left,
+                  "left_degree": left_degree,
+                  "bg_right_degree": bg_right_degree, "capacity": capacity},
+    )
+
+
 def _capacity_profile(graph: BipartiteGraph, capacity: int | str, seed) -> np.ndarray:
     """Resolve the ``capacity`` shorthand used by the generators."""
     if isinstance(capacity, str):
@@ -623,4 +677,5 @@ FAMILY_BUILDERS: dict[str, Callable[..., AllocationInstance]] = {
     "slow_spread": slow_spread_instance,
     "load_balancing": load_balancing_instance,
     "adwords": adwords_instance,
+    "skew_frontier": skew_frontier_instance,
 }

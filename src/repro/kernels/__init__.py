@@ -44,6 +44,7 @@ See DESIGN.md §6 and §11 for the architecture.
 from __future__ import annotations
 
 from repro.kernels.backends import (
+    AutoBackend,
     KernelBackend,
     OptimizedBackend,
     ReferenceBackend,
@@ -68,6 +69,7 @@ __all__ = [
     "KernelBackend",
     "ReferenceBackend",
     "OptimizedBackend",
+    "AutoBackend",
     "available_backends",
     "backend_availability",
     "get_backend",

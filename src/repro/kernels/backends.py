@@ -40,6 +40,7 @@ __all__ = [
     "KernelBackend",
     "ReferenceBackend",
     "OptimizedBackend",
+    "AutoBackend",
     "register_backend",
     "available_backends",
     "backend_availability",
@@ -327,6 +328,64 @@ class OptimizedBackend(KernelBackend):
         return e
 
 
+class AutoBackend(OptimizedBackend):
+    """Size-dispatching backend: optimized below the native crossover,
+    native above it.
+
+    ``BENCH_kernels.json`` shows the native fused round *losing* to the
+    optimized numpy path on small instances (0.8x at ~1.5k edges — the
+    per-call ctypes overhead dominates) and winning decisively at scale
+    (≥2.5x at 160k edges).  ``auto`` applies that measurement: the
+    fused :meth:`proportional_round` delegates to the native backend
+    once ``workspace.n_edges`` reaches :data:`AUTO_NATIVE_MIN_EDGES`,
+    and otherwise — and for every unfused segment primitive — behaves
+    exactly like ``optimized``.
+
+    Degradation matches the registry contract (DESIGN.md §11): the
+    native backend is probed lazily on the first large call; when it is
+    unusable (no C compiler) ``auto`` stays on the optimized path for
+    every size instead of raising, so it is always safe to select.
+    """
+
+    name = "auto"
+
+    #: Edge-count crossover between the measured 0.8x (1558 edges) and
+    #: 3.3x (15958 edges) native-vs-optimized points in
+    #: BENCH_kernels.json.
+    AUTO_NATIVE_MIN_EDGES = 4000
+
+    def __init__(self, *, native_min_edges: Optional[int] = None):
+        self.native_min_edges = (
+            self.AUTO_NATIVE_MIN_EDGES if native_min_edges is None else int(native_min_edges)
+        )
+        self._native: Optional[KernelBackend] = None
+        self._native_checked = False
+
+    def _native_delegate(self) -> Optional[KernelBackend]:
+        if not self._native_checked:
+            self._native_checked = True
+            try:
+                from repro.kernels.native import NativeBackend, native_availability
+
+                ok, _reason = native_availability()
+                if ok:
+                    self._native = NativeBackend()
+            except Exception:
+                self._native = None
+        return self._native
+
+    def proportional_round(self, workspace, beta_exp, scale, *, left_units=None):
+        if workspace.n_edges >= self.native_min_edges:
+            native = self._native_delegate()
+            if native is not None:
+                return native.proportional_round(
+                    workspace, beta_exp, scale, left_units=left_units
+                )
+        return super().proportional_round(
+            workspace, beta_exp, scale, left_units=left_units
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -373,6 +432,9 @@ def _native_probe() -> "tuple[bool, Optional[str]]":
 register_backend("reference", ReferenceBackend)
 register_backend("optimized", OptimizedBackend)
 register_backend("native", _native_factory, availability=_native_probe)
+# No availability probe: auto degrades to the optimized path when the
+# native half is unusable, so it is usable everywhere.
+register_backend("auto", AutoBackend)
 
 
 def available_backends(*, usable_only: bool = False) -> list[str]:

@@ -149,3 +149,19 @@ class MPCCostModel:
         polylog = math.log(max(2, self.n)) ** 2
         per_vertex = min(self.ball_volume_bound(), self.lam * polylog)
         return self.n * per_vertex + m_edges
+
+    def budgeted_ball_words(self, sample_budget: int, max_degree: int) -> int:
+        """Worst-case words of one radius-2B ball at a capped per-round
+        sample budget t: union-graph degree ≤ min(B·t·2, max_degree)
+        per side (t samples per round per vertex, both directions), so
+        |edges| ≤ d_union^B and the record costs ``2 + 2·|edges|``
+        words.  This is the closed-form analogue of the adaptive
+        controller's *empirical* power-law fit (DESIGN.md §13): the
+        controller exists precisely because this bound is loose on
+        non-worst-case instances — but it gives the a-priori budget a
+        fixed-policy run would have to assume."""
+        check_positive_int(sample_budget, "sample_budget")
+        check_positive_int(max_degree, "max_degree")
+        b = self.block()
+        d_union = min(2 * b * sample_budget, max_degree)
+        return 2 + 2 * int(min(float(d_union) ** b, 2.0**62))

@@ -29,9 +29,23 @@ from repro.mpc.cluster import MPCCluster
 from repro.mpc.columnar import ColumnarCluster, Shipment
 from repro.mpc.columns import ColumnBatch, ragged_from_rows
 
-__all__ = ["collect_balls", "ball_vertices", "expected_doubling_rounds"]
+__all__ = [
+    "collect_balls",
+    "ball_vertices",
+    "ball_record_words",
+    "expected_doubling_rounds",
+]
 
 BALL_TAG = "ball"
+
+
+def ball_record_words(edges) -> int:
+    """Stored words of one collected ball record: 1 (tag) + 1 (center)
+    + 2 per edge — identical to ``sizeof_words((\"ball\", v, edges))``
+    on the object substrate and to :func:`_ball_batch`'s per-row cost
+    on the columnar one.  The adaptive throttling layer uses this to
+    turn ``collect_balls`` output into payload-size distributions."""
+    return 2 + 2 * len(edges)
 
 
 def expected_doubling_rounds(radius: int) -> int:

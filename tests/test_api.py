@@ -54,7 +54,7 @@ def test_config_unknown_backend_lists_choices():
     with pytest.raises(ValueError, match=r"unknown kernel backend 'nope'"):
         SolverConfig(backend="nope")
     with pytest.raises(
-        ValueError, match=r"available: \['native', 'optimized', 'reference'\]"
+        ValueError, match=r"available: \['auto', 'native', 'optimized', 'reference'\]"
     ):
         SolverConfig(backend="nope")
 

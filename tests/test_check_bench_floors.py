@@ -1,0 +1,199 @@
+"""The CI benchmark-floor guard itself (benchmarks/check_bench_floors.py).
+
+The guard is the last line of defense against committing a regressed
+BENCH_*.json — so it gets its own tests, driven through the injectable
+``run_checks(root)`` / ``main(root)`` entry points against synthetic
+payload trees: a fully passing set, each checker's missed-bar cases,
+the hardware-conditional ``applicable: false`` escape hatch, malformed
+JSON, and missing required files.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from benchmarks.check_bench_floors import CHECKS, main, run_checks
+
+
+def _passing_payloads() -> dict[str, dict]:
+    return {
+        "BENCH_serving.json": {
+            "meets_2x_bar": True,
+            "session_speedup_over_cold": 3.5,
+        },
+        "BENCH_dynamic.json": {
+            "meets_3x_bar": {"diurnal_wave": True, "flash_crowd": True},
+        },
+        "BENCH_kernels.json": {
+            "optimized_beats_seed": True,
+            "largest_instance_speedup": 5.0,
+        },
+        "BENCH_mpc_substrate.json": {
+            "columnar_beats_object": True,
+            "parity_checked": True,
+        },
+        "BENCH_mpc_adaptive.json": {
+            "frontier_bar": {"threshold": 4.0, "met": True},
+            "frontier_ratio": 16.0,
+            "certificates_bit_checked": True,
+        },
+        "BENCH_sharding.json": {
+            "determinism_bit_identical": True,
+            "scaling_bar": {"applicable": True, "met": True,
+                            "speedup_4_workers": 2.9, "threshold": 2.5},
+        },
+    }
+
+
+def _write_tree(root: Path, payloads: dict[str, dict]) -> None:
+    for name, payload in payloads.items():
+        (root / name).write_text(json.dumps(payload))
+
+
+def test_checks_cover_every_committed_payload():
+    # One checker row per guarded payload; the set is the contract.
+    names = [name for name, _, _ in CHECKS]
+    assert names == [
+        "BENCH_serving.json",
+        "BENCH_dynamic.json",
+        "BENCH_kernels.json",
+        "BENCH_mpc_substrate.json",
+        "BENCH_mpc_adaptive.json",
+        "BENCH_sharding.json",
+    ]
+
+
+def test_all_bars_held_passes(tmp_path):
+    _write_tree(tmp_path, _passing_payloads())
+    assert run_checks(tmp_path) == []
+    assert main(tmp_path) == 0
+
+
+def test_repo_committed_payloads_pass():
+    # The actual committed payloads must hold their floors right now.
+    assert run_checks() == []
+
+
+def test_missing_required_file_fails(tmp_path):
+    payloads = _passing_payloads()
+    del payloads["BENCH_kernels.json"]
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert failures == ["BENCH_kernels.json: missing from the repo root"]
+    assert main(tmp_path) == 1
+
+
+def test_malformed_json_fails_without_crashing(tmp_path):
+    _write_tree(tmp_path, _passing_payloads())
+    (tmp_path / "BENCH_serving.json").write_text("{not json")
+    failures = run_checks(tmp_path)
+    assert len(failures) == 1
+    assert failures[0].startswith("BENCH_serving.json: not valid JSON")
+    assert main(tmp_path) == 1
+
+
+def test_missed_serving_bar_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_serving.json"] = {
+        "meets_2x_bar": False,
+        "session_speedup_over_cold": 1.4,
+    }
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert any("meets_2x_bar" in f for f in failures)
+    assert any("1.4" in f for f in failures)
+
+
+def test_missed_dynamic_scenario_is_named(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_dynamic.json"] = {
+        "meets_3x_bar": {"diurnal_wave": True, "flash_crowd": False},
+    }
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert failures == ["BENCH_dynamic.json: meets_3x_bar['flash_crowd'] is not true"]
+
+
+def test_missed_adaptive_frontier_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_mpc_adaptive.json"] = {
+        "frontier_bar": {"threshold": 4.0, "met": False},
+        "frontier_ratio": 2.0,
+        "certificates_bit_checked": True,
+    }
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert any("frontier_bar not met" in f for f in failures)
+    assert any("frontier_ratio 2.0 < 4.0 floor" in f for f in failures)
+
+
+def test_adaptive_without_certificate_check_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_mpc_adaptive.json"]["certificates_bit_checked"] = False
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert failures == [
+        "BENCH_mpc_adaptive.json: certificates_bit_checked is not true"
+    ]
+
+
+def test_adaptive_missing_bar_dict_fails(tmp_path):
+    payloads = _passing_payloads()
+    del payloads["BENCH_mpc_adaptive.json"]["frontier_bar"]
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert "BENCH_mpc_adaptive.json: frontier_bar missing" in failures
+
+
+def test_sharding_not_applicable_is_not_a_regression(tmp_path):
+    # An honest "single-core host, could not measure" must pass...
+    payloads = _passing_payloads()
+    payloads["BENCH_sharding.json"]["scaling_bar"] = {
+        "applicable": False, "met": None,
+        "speedup_4_workers": 0.9, "threshold": 2.5,
+    }
+    _write_tree(tmp_path, payloads)
+    assert run_checks(tmp_path) == []
+
+
+def test_sharding_applicable_but_missed_fails(tmp_path):
+    # ...but a recorded applicable miss must not.
+    payloads = _passing_payloads()
+    payloads["BENCH_sharding.json"]["scaling_bar"] = {
+        "applicable": True, "met": False,
+        "speedup_4_workers": 1.1, "threshold": 2.5,
+    }
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert any("applicable but not met" in f for f in failures)
+
+
+def test_sharding_ambiguous_applicability_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_sharding.json"]["scaling_bar"] = {"met": True}
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert any("applicable must be true or false" in f for f in failures)
+
+
+def test_kernels_regression_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_kernels.json"] = {
+        "optimized_beats_seed": False,
+        "largest_instance_speedup": 0.8,
+    }
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert any("optimized_beats_seed" in f for f in failures)
+    assert any("0.8" in f for f in failures)
+
+
+def test_substrate_parity_flag_required(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_mpc_substrate.json"]["parity_checked"] = False
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert failures == ["BENCH_mpc_substrate.json: parity_checked is not true"]

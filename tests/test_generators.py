@@ -189,6 +189,7 @@ def test_family_registry_builders_all_runnable():
         "slow_spread": dict(core_right=3, width=2, seed=0),
         "load_balancing": dict(n_clients=12, n_servers=4, seed=0),
         "adwords": dict(n_impressions=15, n_advertisers=5, seed=0),
+        "skew_frontier": dict(n_left=10, seed=0),
     }
     assert set(kwargs) == set(FAMILY_BUILDERS)
     for name, builder in FAMILY_BUILDERS.items():

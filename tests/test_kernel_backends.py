@@ -247,6 +247,104 @@ def test_backend_registry_and_context_manager():
         set_backend("no-such-backend")
 
 
+# ----------------------------------------------------------------------
+# AutoBackend: size-dispatching between optimized and native
+# ----------------------------------------------------------------------
+class _RecordingNative:
+    """Stand-in native delegate that records and defers to reference."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def proportional_round(self, workspace, beta_exp, scale, *, left_units=None):
+        self.calls += 1
+        return REF.proportional_round(
+            workspace, beta_exp, scale, left_units=left_units
+        )
+
+
+def _auto_case(n_left=40, n_right=30, m=90, seed=6):
+    g = random_graph(n_left, n_right, m, seed)
+    ws = workspace_for(g)
+    beta = np.random.default_rng(2).integers(-5, 5, size=g.n_right)
+    return ws, beta
+
+
+def test_auto_backend_registered():
+    from repro.kernels import AutoBackend
+
+    assert "auto" in available_backends()
+    with use_backend("auto") as be:
+        assert isinstance(be, AutoBackend)
+        assert be.native_min_edges == AutoBackend.AUTO_NATIVE_MIN_EDGES
+
+
+def test_auto_dispatches_on_edge_count_threshold():
+    from repro.kernels import AutoBackend
+
+    ws, beta = _auto_case()
+    # Below the crossover the delegate must not be touched.
+    auto = AutoBackend(native_min_edges=ws.n_edges + 1)
+    fake = _RecordingNative()
+    auto._native, auto._native_checked = fake, True
+    x_small, a_small = auto.proportional_round(ws, beta, 0.1)
+    assert fake.calls == 0
+    x_opt, a_opt = OPT.proportional_round(ws, beta, 0.1)
+    assert np.array_equal(x_small, x_opt) and np.array_equal(a_small, a_opt)
+    # At/above the crossover every fused round goes to the delegate.
+    auto = AutoBackend(native_min_edges=ws.n_edges)
+    fake = _RecordingNative()
+    auto._native, auto._native_checked = fake, True
+    auto.proportional_round(ws, beta, 0.1)
+    auto.proportional_round(ws, beta, 0.1)
+    assert fake.calls == 2
+
+
+def test_auto_degrades_to_optimized_when_native_unusable(monkeypatch):
+    import repro.kernels.native as native_pkg
+    from repro.kernels import AutoBackend
+
+    # The delegate probe imports lazily from the package namespace, so
+    # patching the re-export is what a compiler-less host looks like.
+    monkeypatch.setattr(
+        native_pkg, "native_availability", lambda: (False, "no C compiler")
+    )
+    ws, beta = _auto_case()
+    auto = AutoBackend(native_min_edges=1)  # everything is "large"
+    x_auto, a_auto = auto.proportional_round(ws, beta, 0.1)
+    assert auto._native is None  # probe ran, found nothing, no raise
+    x_opt, a_opt = OPT.proportional_round(ws, beta, 0.1)
+    assert np.array_equal(x_auto, x_opt) and np.array_equal(a_auto, a_opt)
+
+
+def test_auto_unfused_primitives_are_exactly_optimized():
+    from repro.kernels import AutoBackend
+
+    g = random_graph(30, 20, 55, 2)
+    rng = np.random.default_rng(42)
+    per_slot = rng.random(g.n_edges)
+    auto = AutoBackend()
+    assert np.array_equal(
+        auto.segment_sum(per_slot, g.right_indptr),
+        OPT.segment_sum(per_slot, g.right_indptr),
+    )
+    assert np.array_equal(
+        auto.segment_max(per_slot, g.right_indptr, -1.0),
+        OPT.segment_max(per_slot, g.right_indptr, -1.0),
+    )
+
+
+@needs_native
+def test_auto_above_crossover_matches_native():
+    ws, beta = _auto_case()
+    from repro.kernels import AutoBackend
+
+    auto = AutoBackend(native_min_edges=1)
+    x_auto, a_auto = auto.proportional_round(ws, beta, 0.1)
+    x_nat, a_nat = NAT().proportional_round(ws, beta, 0.1)
+    assert np.array_equal(x_auto, x_nat) and np.array_equal(a_auto, a_nat)
+
+
 def test_workspace_is_cached_per_graph():
     g = random_graph(10, 8, 20, 12)
     ws1 = workspace_for(g)
