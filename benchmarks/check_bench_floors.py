@@ -112,6 +112,28 @@ def check_sharding(payload: dict) -> list[str]:
     return problems
 
 
+def check_service(payload: dict) -> list[str]:
+    problems = []
+    warmth = payload.get("restart_warmth")
+    if not isinstance(warmth, dict):
+        problems.append("restart_warmth missing")
+        return problems
+    if warmth.get("meets_3x_bar") is not True:
+        problems.append("restart_warmth.meets_3x_bar is not true")
+    speedup = warmth.get("restart_speedup", 0)
+    if not isinstance(speedup, (int, float)) or speedup < 3.0:
+        problems.append(f"restart_speedup {speedup!r} < 3.0 floor")
+    if warmth.get("restored_warm_start") is not True:
+        problems.append("restored_warm_start is not true")
+    latency = (payload.get("concurrent_load") or {}).get("latency")
+    if not isinstance(latency, dict) or not all(
+        isinstance(latency.get(k), (int, float))
+        for k in ("p50_ms", "p95_ms", "p99_ms")
+    ):
+        problems.append("concurrent_load latency histogram incomplete")
+    return problems
+
+
 # One row per committed payload: (filename, required, checker).  The
 # e5 round-count payload records measurements without a bar — nothing
 # to guard there.
@@ -122,6 +144,7 @@ CHECKS = (
     ("BENCH_mpc_substrate.json", True, check_mpc_substrate),
     ("BENCH_mpc_adaptive.json", True, check_mpc_adaptive),
     ("BENCH_sharding.json", True, check_sharding),
+    ("BENCH_service.json", True, check_service),
 )
 
 

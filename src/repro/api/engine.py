@@ -311,6 +311,30 @@ class Engine:
         defaults (DESIGN.md §9)."""
         return DynamicSession(instance, **self.config.session_kwargs())
 
+    def open_service(self, store_dir: Any, **service_kwargs: Any):
+        """A durable-session :class:`~repro.serve.AllocationService`
+        persisting to ``store_dir`` (DESIGN.md §14).
+
+        Every resident session carries this config's solver defaults;
+        the service's deterministic seed-cursor root falls back to the
+        config's ``seed`` (else 0).  Remaining keywords — socket path,
+        ``max_sessions``, checkpoint cadence, restore verification —
+        forward to the :class:`~repro.serve.AllocationService`
+        constructor.  Start it with
+        :func:`~repro.serve.run_service` (blocking) or ``await
+        service.start()`` inside a running loop.
+        """
+        from repro.serve.service import AllocationService
+
+        service_kwargs.setdefault(
+            "seed", self.config.seed if self.config.seed is not None else 0
+        )
+        return AllocationService(
+            store_dir,
+            session_kwargs=self.config.session_kwargs(),
+            **service_kwargs,
+        )
+
     # -- batch / stream --------------------------------------------------
     def batch(
         self,

@@ -383,6 +383,37 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.service import run_service
+
+    engine = _engine_from_args(args, session_prefix="session: ")
+    if engine is None:
+        return 2
+    try:
+        service = engine.open_service(
+            args.store_dir,
+            socket_path=args.socket,
+            max_sessions=args.max_sessions,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_on_commit=args.checkpoint_every_solve,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    # Pre-admit instances given on the command line (the supervisor
+    # shape: the serving set is known at deploy time).
+    for path in args.instance or ():
+        instance = _load_instance_checked(path)
+        if instance is None:
+            return 2
+        service._admit(instance)
+    try:
+        run_service(service)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -464,6 +495,44 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_engine_flags(p_dyn)
     p_dyn.set_defaults(fn=_cmd_dynamic)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the durable-session allocation service "
+             "(JSONL over a unix socket, snapshot/restore — DESIGN.md §14)",
+    )
+    p_serve.add_argument(
+        "--store-dir", required=True,
+        help="session snapshot store directory (created if missing); "
+             "restart against the same directory to recover warm state",
+    )
+    p_serve.add_argument(
+        "--socket", default=None,
+        help="unix socket path (default: <store-dir>/service.sock)",
+    )
+    p_serve.add_argument(
+        "--instance", action="append", default=None,
+        help="instance JSON file to pre-admit (repeatable)",
+    )
+    p_serve.add_argument("--max-sessions", type=int, default=8,
+                         help="resident session cap (LRU eviction-to-snapshot)")
+    p_serve.add_argument(
+        "--checkpoint-interval", type=float, default=None,
+        help="periodic checkpoint cadence in seconds (default: off)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every-solve", action="store_true",
+        help="snapshot after every committed solve (the bit-identical "
+             "crash-recovery mode)",
+    )
+    p_serve.add_argument("--epsilon", type=float, default=0.2,
+                         help="session default epsilon")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="root seed of the deterministic seed-cursor streams")
+    p_serve.add_argument("--no-boost", action="store_true",
+                         help="session default: skip boosting")
+    _add_engine_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_gen = sub.add_parser("generate", help="write a benchmark-family instance")
     p_gen.add_argument("family", help=f"one of {sorted(FAMILY_BUILDERS)}")

@@ -18,6 +18,11 @@ shape:
   N shard workers with resident session fleets, instances published to
   ``multiprocessing.shared_memory`` (:mod:`repro.serve.shm`) and
   routed by stable content hash, bit-identical to the thread path.
+* :class:`AllocationService` + :mod:`repro.serve.snapshot` — the
+  durable tier (DESIGN.md §14): versioned session snapshots with
+  atomic persistence and certificate-verified restore, behind an
+  asyncio JSONL-over-socket front end with admission control, request
+  coalescing, and crash recovery.
 
 Cold solves stay bit-identical to
 :func:`repro.core.pipeline.solve_allocation`; warm solves pass the
@@ -43,9 +48,25 @@ from repro.serve.shm import (
     instance_hash,
 )
 
+from repro.serve.snapshot import (
+    SNAPSHOT_SCHEMA,
+    RestoredSession,
+    SnapshotStore,
+    restore_dynamic,
+    restore_session,
+    snapshot_dynamic,
+    snapshot_session,
+)
+
 # Imported last: sharding pulls in repro.api (config/report), which may
 # itself be mid-import via engine → repro.serve.session; by this point
 # every serve submodule it needs is already in sys.modules.
+from repro.serve.service import (
+    AllocationService,
+    ServiceClient,
+    ServiceError,
+    run_service,
+)
 from repro.serve.sharding import ShardedExecutor, ShardReplayResult
 
 __all__ = [
@@ -64,4 +85,15 @@ __all__ = [
     "attach_instance",
     "ShardedExecutor",
     "ShardReplayResult",
+    "SNAPSHOT_SCHEMA",
+    "RestoredSession",
+    "SnapshotStore",
+    "snapshot_session",
+    "snapshot_dynamic",
+    "restore_session",
+    "restore_dynamic",
+    "AllocationService",
+    "ServiceClient",
+    "ServiceError",
+    "run_service",
 ]

@@ -264,6 +264,39 @@ class AllocationSession:
         with self._lock:
             return self._last_result
 
+    def restore_state(
+        self,
+        exponents: Optional[np.ndarray],
+        *,
+        last_result: Optional[PipelineResult] = None,
+        stats: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Install persisted warm state in one shot (the snapshot-restore
+        path, DESIGN.md §14).
+
+        Unlike :meth:`prime_exponents` this also reinstates the retained
+        pipeline result (so :meth:`reroll_rounding` works across a
+        restart) and the exported counters.  The exponent vector is
+        validated against this session's graph; certificate
+        re-verification is the restorer's job
+        (:func:`repro.serve.snapshot.restore_session`), because only it
+        knows whether a stale vector should fall back to cold.
+        """
+        from repro.core.proportional import validate_initial_exponents
+
+        base = None
+        if exponents is not None:
+            base = validate_initial_exponents(self.instance.graph, exponents)
+            assert base is not None
+            base = base.copy()
+        with self._lock:
+            self._exponents = base
+            self._last_result = last_result
+            if stats is not None:
+                for name in self.stats.as_dict():
+                    if name in stats:
+                        setattr(self.stats, name, int(stats[name]))
+
     def commit(self, result: PipelineResult) -> None:
         """Retain a solve's converged exponents as the next warm start.
 

@@ -15,11 +15,16 @@ read-only views over the segment, with the kernel workspace assembled
 via :func:`repro.kernels.attach_workspace` instead of re-derived.
 
 A second, small, *mutable* segment per instance holds the retained
-converged β exponent vector behind a version counter: the owning shard
-writes it after each committed batch, and a worker (re)building the
-session — including one respawned after a crash — primes its warm
-state from it, so warmth survives worker restarts without any request
-replay.
+converged β exponent vector behind a two-slot commit-sequence
+protocol: the owning shard writes each new vector into the *inactive*
+slot, publishing a ``begin`` sequence before the data and the matching
+``committed`` sequence after it, and a worker (re)building the session
+— including one respawned after a crash — primes its warm state from
+the committed slot.  A writer that dies mid-commit therefore never
+corrupts the committed vector: the torn attempt is confined to the
+inactive slot, detected by ``begin != committed``, and the previous
+version is used (DESIGN.md §12).  Warmth survives worker restarts
+without any request replay.
 
 Ownership: the publishing process (the dispatcher) owns both segments
 and is the only one that ever unlinks them
@@ -57,6 +62,13 @@ __all__ = [
 ]
 
 _ALIGN = 16  # byte alignment of every packed array
+
+# Exponent-segment layout (all int64 words): a two-word header
+# ``[committed_seq, begin_seq]`` followed by two full β-vector slots.
+# Slot ``seq % 2`` holds the vector committed at sequence ``seq``; the
+# other slot is the write target of the *next* commit, so an
+# interrupted write never touches committed data.
+EXP_HEADER_WORDS = 2
 
 # The instance arrays packed into the segment, in order.  Graph arrays
 # come straight off the BipartiteGraph; *_deg/_owner/_nonempty/_starts
@@ -120,6 +132,34 @@ class SharedInstanceDescriptor:
     name: str
     arboricity_upper_bound: Optional[int]
     metadata: dict[str, Any]
+
+
+def _commit_info(exp_shm: shared_memory.SharedMemory) -> dict[str, Any]:
+    header = np.ndarray((EXP_HEADER_WORDS,), dtype=np.int64, buffer=exp_shm.buf)
+    committed, begin = int(header[0]), int(header[1])
+    return {
+        "committed": committed,
+        "begin": begin,
+        "torn": begin != committed,
+    }
+
+
+def _read_exponent_segment(
+    exp_shm: shared_memory.SharedMemory, n_right: int
+) -> tuple[int, Optional[np.ndarray], bool]:
+    """``(committed_seq, β copy or None, torn)`` from the two-slot
+    segment.  Only the committed slot is ever read; a half-written
+    commit (writer died between ``begin`` and ``committed``) lives in
+    the other slot and is reported via ``torn``."""
+    header = np.ndarray((EXP_HEADER_WORDS,), dtype=np.int64, buffer=exp_shm.buf)
+    committed, begin = int(header[0]), int(header[1])
+    if committed <= 0:
+        return committed, None, begin != committed
+    vec = np.ndarray(
+        (n_right,), dtype=np.int64, buffer=exp_shm.buf,
+        offset=8 * (EXP_HEADER_WORDS + (committed % 2) * n_right),
+    )
+    return committed, vec.copy(), begin != committed
 
 
 def _pack_layout(prefix: str, layout: SegmentLayout) -> list[tuple[str, np.ndarray]]:
@@ -189,13 +229,15 @@ class SharedInstance:
             )
             dst[...] = arr
 
-        # Exponents segment: int64 version counter, then one int64 β
-        # exponent per right vertex.  version == 0 means "no warm state
-        # retained yet".
+        # Exponents segment: [committed_seq, begin_seq] header, then two
+        # β-vector slots (one int64 per right vertex each).  committed
+        # == 0 means "no warm state retained yet".
         exp_shm = shared_memory.SharedMemory(
-            create=True, size=8 + 8 * max(g.n_right, 1), name=f"{seg_name}_exp"
+            create=True,
+            size=8 * (EXP_HEADER_WORDS + 2 * max(g.n_right, 1)),
+            name=f"{seg_name}_exp",
         )
-        np.ndarray((1,), dtype=np.int64, buffer=exp_shm.buf)[0] = 0
+        np.ndarray((EXP_HEADER_WORDS,), dtype=np.int64, buffer=exp_shm.buf)[:] = 0
 
         descriptor = SharedInstanceDescriptor(
             segment=seg_name,
@@ -213,15 +255,18 @@ class SharedInstance:
     # -- owner-side warm-state introspection ----------------------------
     def exponents(self) -> tuple[int, Optional[np.ndarray]]:
         """``(version, β vector copy)`` — ``(0, None)`` before the
-        owning shard's first committed batch."""
-        version = int(np.ndarray((1,), dtype=np.int64, buffer=self._exp_shm.buf)[0])
-        if version <= 0:
-            return version, None
-        vec = np.ndarray(
-            (self.descriptor.n_right,), dtype=np.int64,
-            buffer=self._exp_shm.buf, offset=8,
+        owning shard's first committed batch.  Reads the *committed*
+        slot, so a writer that died mid-commit is invisible here."""
+        version, vec, _ = _read_exponent_segment(
+            self._exp_shm, self.descriptor.n_right
         )
-        return version, vec.copy()
+        return version, vec
+
+    def commit_info(self) -> dict[str, Any]:
+        """Commit-protocol state: ``{"committed", "begin", "torn"}``.
+        ``torn`` is true when a writer published a ``begin`` sequence
+        and died before the matching commit."""
+        return _commit_info(self._exp_shm)
 
     def close(self) -> None:
         for shm in (self._shm, self._exp_shm):
@@ -318,33 +363,41 @@ class AttachedInstance:
 
     # -- warm-state handoff ---------------------------------------------
     def load_exponents(self) -> Optional[np.ndarray]:
-        """The retained β vector (copy), or ``None`` when no batch has
-        committed yet (version counter still 0)."""
-        version = int(np.ndarray((1,), dtype=np.int64, buffer=self._exp_shm.buf)[0])
-        if version <= 0:
-            return None
-        vec = np.ndarray(
-            (self.descriptor.n_right,), dtype=np.int64,
-            buffer=self._exp_shm.buf, offset=8,
-        )
-        return vec.copy()
+        """The retained committed β vector (copy), or ``None`` when no
+        batch has committed yet.  A commit interrupted by the writer's
+        death (``begin != committed``) only ever touched the inactive
+        slot, so this returns the previous committed version intact."""
+        _, vec, _ = _read_exponent_segment(self._exp_shm, self.descriptor.n_right)
+        return vec
+
+    def commit_info(self) -> dict[str, Any]:
+        """Commit-protocol state (see :meth:`SharedInstance.commit_info`)."""
+        return _commit_info(self._exp_shm)
 
     def store_exponents(self, exponents: np.ndarray) -> None:
-        """Publish the converged β vector (vector first, then the
-        version bump, so a reader never sees a version without data)."""
+        """Publish the converged β vector under the two-slot commit
+        protocol: ``begin_seq`` first, then the vector into the
+        *inactive* slot, then ``committed_seq`` — so a reader never
+        sees a torn vector and a mid-commit death never corrupts the
+        previously committed one."""
         vec = np.asarray(exponents, dtype=np.int64)
         if vec.shape != (self.descriptor.n_right,):
             raise ValueError(
                 f"exponents must have shape ({self.descriptor.n_right},), "
                 f"got {vec.shape}"
             )
+        n_right = self.descriptor.n_right
+        header = np.ndarray(
+            (EXP_HEADER_WORDS,), dtype=np.int64, buffer=self._exp_shm.buf
+        )
+        seq = int(header[0]) + 1
+        header[1] = seq  # begin marker: a commit is in flight
         dst = np.ndarray(
-            (self.descriptor.n_right,), dtype=np.int64,
-            buffer=self._exp_shm.buf, offset=8,
+            (n_right,), dtype=np.int64, buffer=self._exp_shm.buf,
+            offset=8 * (EXP_HEADER_WORDS + (seq % 2) * n_right),
         )
         dst[...] = vec
-        header = np.ndarray((1,), dtype=np.int64, buffer=self._exp_shm.buf)
-        header[0] += 1
+        header[0] = seq  # commit: the new slot becomes the active one
 
     def close(self) -> None:
         """Release the worker's mapping (never unlinks)."""

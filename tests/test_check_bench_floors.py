@@ -45,6 +45,16 @@ def _passing_payloads() -> dict[str, dict]:
             "scaling_bar": {"applicable": True, "met": True,
                             "speedup_4_workers": 2.9, "threshold": 2.5},
         },
+        "BENCH_service.json": {
+            "restart_warmth": {
+                "meets_3x_bar": True,
+                "restart_speedup": 5.0,
+                "restored_warm_start": True,
+            },
+            "concurrent_load": {
+                "latency": {"p50_ms": 20.0, "p95_ms": 60.0, "p99_ms": 75.0},
+            },
+        },
     }
 
 
@@ -63,6 +73,7 @@ def test_checks_cover_every_committed_payload():
         "BENCH_mpc_substrate.json",
         "BENCH_mpc_adaptive.json",
         "BENCH_sharding.json",
+        "BENCH_service.json",
     ]
 
 
@@ -189,6 +200,37 @@ def test_kernels_regression_fails(tmp_path):
     failures = run_checks(tmp_path)
     assert any("optimized_beats_seed" in f for f in failures)
     assert any("0.8" in f for f in failures)
+
+
+def test_service_missed_restart_bar_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_service.json"]["restart_warmth"] = {
+        "meets_3x_bar": False,
+        "restart_speedup": 1.7,
+        "restored_warm_start": True,
+    }
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert any("meets_3x_bar is not true" in f for f in failures)
+    assert any("1.7" in f and "3.0 floor" in f for f in failures)
+
+
+def test_service_cold_restore_fails(tmp_path):
+    payloads = _passing_payloads()
+    payloads["BENCH_service.json"]["restart_warmth"]["restored_warm_start"] = False
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert failures == ["BENCH_service.json: restored_warm_start is not true"]
+
+
+def test_service_incomplete_latency_histogram_fails(tmp_path):
+    payloads = _passing_payloads()
+    del payloads["BENCH_service.json"]["concurrent_load"]["latency"]["p99_ms"]
+    _write_tree(tmp_path, payloads)
+    failures = run_checks(tmp_path)
+    assert failures == [
+        "BENCH_service.json: concurrent_load latency histogram incomplete"
+    ]
 
 
 def test_substrate_parity_flag_required(tmp_path):

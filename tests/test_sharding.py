@@ -189,6 +189,58 @@ class TestSharedInstance:
             attached.close()
             handle.unlink()
 
+    def test_half_written_commit_detected_previous_version_used(self, instance):
+        """Regression: a writer dying mid-commit must not lose warmth.
+
+        The exponent segment's two-slot commit protocol writes a
+        ``begin_seq`` marker, then the vector into the *inactive* slot,
+        then the ``committed_seq``.  Death between ``begin`` and
+        ``commit`` therefore leaves the committed slot untouched:
+        readers must report the tear and return the previous committed
+        vector — the fleet rebuild re-primes from real warm state
+        instead of silently adopting garbage or falling back cold.
+        """
+        from repro.serve.shm import EXP_HEADER_WORDS
+
+        handle = SharedInstance.publish(instance)
+        attached = attach_instance(handle.descriptor)
+        try:
+            committed = np.arange(instance.n_right, dtype=np.int64)
+            attached.store_exponents(committed)
+            assert attached.commit_info() == {
+                "committed": 1, "begin": 1, "torn": False,
+            }
+
+            # Simulate the writer dying mid-commit of version 2: begin
+            # marker written, half the vector scribbled into slot
+            # 2 % 2 == 0, commit word never written.
+            buf = attached._exp_shm.buf
+            header = np.ndarray((EXP_HEADER_WORDS,), dtype=np.int64, buffer=buf)
+            header[1] = 2
+            torn_slot = np.ndarray(
+                (instance.n_right,), dtype=np.int64, buffer=buf,
+                offset=8 * EXP_HEADER_WORDS,
+            )
+            torn_slot[: instance.n_right // 2] = -999
+
+            info = attached.commit_info()
+            assert info["torn"] is True and info["committed"] == 1
+            # Both the attaching reader and the owner still see the
+            # previous committed vector, bit-exact.
+            assert np.array_equal(attached.load_exponents(), committed)
+            version, owner_view = handle.exponents()
+            assert version == 1
+            assert np.array_equal(owner_view, committed)
+
+            # A subsequent successful store supersedes the tear: the
+            # writer restarts the commit at the next sequence.
+            attached.store_exponents(committed + 5)
+            assert attached.commit_info()["torn"] is False
+            assert np.array_equal(attached.load_exponents(), committed + 5)
+        finally:
+            attached.close()
+            handle.unlink()
+
     def test_unlink_is_idempotent_and_frees_segments(self, instance):
         before = set(_leaked_segments())
         handle = SharedInstance.publish(instance)
