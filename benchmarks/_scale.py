@@ -7,10 +7,29 @@ the ``bench_*.py`` script modes.
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import re
+from pathlib import Path
 
-__all__ = ["bench_scale", "cpu_info", "percentile"]
+__all__ = [
+    "bench_scale",
+    "cpu_info",
+    "percentile",
+    "stamp_payload",
+    "write_bench_payload",
+    "bench_script_main",
+    "SCHEMA_VERSION",
+]
+
+# Version of the BENCH_*.json payload envelope: every payload carries
+# ``schema_version`` + ``cpu`` (stamped by write_bench_payload) so
+# downstream consumers (check_bench_floors, bench_trajectory) can
+# reject formats they don't understand instead of misreading them.
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def bench_scale() -> str:
@@ -64,3 +83,57 @@ def percentile(values, q: float) -> float:
     if low + 1 >= len(data):
         return data[-1]
     return data[low] * (1.0 - frac) + data[low + 1] * frac
+
+
+def stamp_payload(payload: dict) -> dict:
+    """Stamp the uniform envelope keys into a bench payload in place.
+
+    ``schema_version`` marks the payload format; ``cpu`` records the
+    measuring host's topology.  Existing keys are left alone so a
+    benchmark that records richer CPU context keeps it.
+    """
+    payload.setdefault("schema_version", SCHEMA_VERSION)
+    payload.setdefault("cpu", cpu_info())
+    return payload
+
+
+def write_bench_payload(payload: dict, out, default_name: str) -> Path:
+    """Stamp, write, and echo a bench payload.
+
+    ``out=None`` targets ``<repo root>/<default_name>`` — the
+    committed location every ``bench_*.py`` script-mode run updates.
+    """
+    payload = stamp_payload(payload)
+    path = Path(out) if out else REPO_ROOT / default_name
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}")
+    return path
+
+
+def bench_script_main(
+    run,
+    default_name: str,
+    *,
+    description: str | None = None,
+    scales=("smoke", "normal", "full"),
+    argv=None,
+) -> None:
+    """The shared ``--scale``/``--out`` script-mode entry point.
+
+    Every ``bench_*.py`` script mode is the same four lines: parse the
+    two flags, call the payload builder with the chosen scale, stamp
+    the envelope, write to the repo root.  ``run`` is that builder —
+    ``run(scale) -> dict``.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale", choices=sorted(scales), default="full",
+        help="workload scale to benchmark (default: full)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help=f"output path (default: {default_name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    write_bench_payload(run(args.scale), args.out, default_name)

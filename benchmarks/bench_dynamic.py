@@ -49,7 +49,7 @@ if not __package__:  # invoked as a script: self-contained path setup
     _root = Path(__file__).resolve().parents[1]
     sys.path.insert(0, str(_root))          # for benchmarks._scale
     sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
-from benchmarks._scale import bench_scale
+from benchmarks._scale import bench_scale, bench_script_main
 from repro.core.pipeline import solve_allocation
 from repro.dynamic import SCENARIOS, DynamicSession, apply_delta
 from repro.graphs.generators import slow_spread_instance
@@ -186,21 +186,10 @@ def run_dynamic_benchmarks(scale: str) -> dict:
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale", choices=sorted(_SIZES), default="full",
-        help="workload size to benchmark (default: full)",
+    bench_script_main(
+        run_dynamic_benchmarks, "BENCH_dynamic.json",
+        description=__doc__, scales=_SIZES, argv=argv,
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="output path (default: BENCH_dynamic.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-    payload = run_dynamic_benchmarks(args.scale)
-    out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_dynamic.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

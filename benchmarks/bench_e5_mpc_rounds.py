@@ -16,8 +16,6 @@ simulate mode charges), the peak per-machine words against the
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -30,6 +28,8 @@ try:
     import pytest
 except ImportError:  # pragma: no cover - script-only environments
     pytest = None
+
+from benchmarks._scale import bench_script_main
 
 
 if pytest is not None:
@@ -144,25 +144,10 @@ def run_round_ledger_benchmarks(scale: str) -> dict:
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale", choices=sorted(_FAITHFUL_SIZES), default="full",
-        help="faithful instance sizes to record (default: full)",
+    bench_script_main(
+        run_round_ledger_benchmarks, "BENCH_e5_mpc_rounds.json",
+        description=__doc__, scales=_FAITHFUL_SIZES, argv=argv,
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="output path (default: BENCH_e5_mpc_rounds.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-    payload = run_round_ledger_benchmarks(args.scale)
-    out = (
-        Path(args.out)
-        if args.out
-        else Path(__file__).resolve().parents[1] / "BENCH_e5_mpc_rounds.json"
-    )
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

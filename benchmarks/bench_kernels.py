@@ -41,7 +41,7 @@ if not __package__:  # invoked as a script: self-contained path setup
     _root = Path(__file__).resolve().parents[1]
     sys.path.insert(0, str(_root))          # for benchmarks._scale
     sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
-from benchmarks._scale import bench_scale
+from benchmarks._scale import bench_scale, bench_script_main
 from repro.baselines.exact import solve_exact
 from repro.core.local_driver import solve_fractional_fixed_tau
 from repro.core.pipeline import solve_allocation, solve_allocation_many
@@ -398,21 +398,10 @@ def run_backend_benchmarks(scale: str) -> dict:
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale", choices=sorted(_SIZES), default="full",
-        help="instance sizes to benchmark (default: full)",
+    bench_script_main(
+        run_backend_benchmarks, "BENCH_kernels.json",
+        description=__doc__, scales=_SIZES, argv=argv,
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="output path (default: BENCH_kernels.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-    payload = run_backend_benchmarks(args.scale)
-    out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

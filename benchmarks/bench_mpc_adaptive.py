@@ -56,7 +56,7 @@ if not __package__:  # invoked as a script: self-contained path setup
     _root = Path(__file__).resolve().parents[1]
     sys.path.insert(0, str(_root))          # for benchmarks._scale
     sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
-from benchmarks._scale import bench_scale, cpu_info
+from benchmarks._scale import bench_scale, bench_script_main, cpu_info
 from repro.core.mpc_driver import solve_allocation_mpc
 from repro.graphs.generators import skew_frontier_instance
 from repro.mpc.machine import SpaceViolation
@@ -248,25 +248,10 @@ if pytest is not None:
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale", choices=sorted(_ADAPTIVE_NS), default="full",
-        help="adaptive-arm ladder length (default: full)",
+    bench_script_main(
+        run_adaptive_benchmarks, "BENCH_mpc_adaptive.json",
+        description=__doc__, scales=_ADAPTIVE_NS, argv=argv,
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="output path (default: BENCH_mpc_adaptive.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-    payload = run_adaptive_benchmarks(args.scale)
-    out = (
-        Path(args.out)
-        if args.out
-        else Path(__file__).resolve().parents[1] / "BENCH_mpc_adaptive.json"
-    )
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

@@ -37,7 +37,7 @@ if not __package__:  # invoked as a script: self-contained path setup
     _root = Path(__file__).resolve().parents[1]
     sys.path.insert(0, str(_root))          # for benchmarks._scale
     sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
-from benchmarks._scale import bench_scale
+from benchmarks._scale import bench_scale, bench_script_main
 from repro.core.mpc_driver import solve_allocation_mpc
 from repro.graphs.generators import union_of_forests
 from repro.mpc.cluster import MPCCluster
@@ -190,25 +190,10 @@ def run_substrate_benchmarks(scale: str) -> dict:
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale", choices=sorted(_SIZES), default="full",
-        help="instance sizes to benchmark (default: full)",
+    bench_script_main(
+        run_substrate_benchmarks, "BENCH_mpc_substrate.json",
+        description=__doc__, scales=_SIZES, argv=argv,
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="output path (default: BENCH_mpc_substrate.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-    payload = run_substrate_benchmarks(args.scale)
-    out = (
-        Path(args.out)
-        if args.out
-        else Path(__file__).resolve().parents[1] / "BENCH_mpc_substrate.json"
-    )
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

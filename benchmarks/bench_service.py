@@ -39,7 +39,7 @@ if not __package__:  # invoked as a script: self-contained path setup
     _root = Path(__file__).resolve().parents[1]
     sys.path.insert(0, str(_root))          # for benchmarks._scale
     sys.path.insert(0, str(_root / "src"))  # for repro (no PYTHONPATH needed)
-from benchmarks._scale import bench_scale, cpu_info, percentile
+from benchmarks._scale import bench_scale, bench_script_main, cpu_info, percentile
 from repro.graphs.generators import slow_spread_instance
 from repro.serve.service import AllocationService, ServiceClient
 from repro.serve.shm import instance_hash
@@ -190,21 +190,10 @@ def run_service_benchmarks(scale: str) -> dict:
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--scale", choices=sorted(_SIZES), default="full",
-        help="workload size to benchmark (default: full)",
+    bench_script_main(
+        run_service_benchmarks, "BENCH_service.json",
+        description=__doc__, scales=_SIZES, argv=argv,
     )
-    parser.add_argument(
-        "--out", default=None,
-        help="output path (default: BENCH_service.json at the repo root)",
-    )
-    args = parser.parse_args(argv)
-    payload = run_service_benchmarks(args.scale if args.scale else bench_scale())
-    out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_service.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
-    print(f"\nwrote {out}")
 
 
 if __name__ == "__main__":

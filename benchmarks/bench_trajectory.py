@@ -1,0 +1,246 @@
+"""Assemble every committed BENCH_*.json bar into one perf trajectory.
+
+Each benchmark payload carries its own acceptance bars (speedup floors,
+bit-identity flags, …) in its own shape.  This script flattens all of
+them into a single schema-versioned ``BENCH_trajectory.json`` at the
+repo root — one entry per bar with its value, floor, and whether it is
+met — so the CI floor gate (``check_bench_floors.py``) can guard the
+whole performance trajectory uniformly and diff a fresh smoke run
+against it.
+
+Regenerate after re-recording any benchmark payload::
+
+    python benchmarks/bench_trajectory.py
+
+``check_bench_floors.py`` fails CI when the committed trajectory
+disagrees with the payloads it indexes, so a payload regenerated
+without this script shows up as a stale-trajectory error, not a silent
+drift.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+if not __package__:  # invoked as a script: self-contained path setup
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks._scale import REPO_ROOT, stamp_payload, write_bench_payload
+
+__all__ = [
+    "TRAJECTORY_SCHEMA",
+    "COLLECTORS",
+    "build_bars",
+    "build_trajectory",
+    "main",
+]
+
+TRAJECTORY_SCHEMA = "repro.bench/trajectory/v1"
+
+# A collector maps one payload to its bars: (bar_name, value, floor,
+# applicable) rows.  Boolean bars use ``floor=True`` (the only passing
+# value); numeric bars pass when value >= floor.  Collectors read
+# defensively — a bar whose fields are absent is simply not indexed
+# (the per-payload checkers in check_bench_floors.py guard required
+# fields), which keeps the trajectory a pure function of what the
+# payloads actually record.
+
+
+def _num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def bars_serving(p: dict) -> list[tuple]:
+    out = []
+    if _num(p.get("session_speedup_over_cold")):
+        out.append(
+            ("session_speedup_over_cold", p["session_speedup_over_cold"], 2.0, True)
+        )
+    if isinstance(p.get("meets_2x_bar"), bool):
+        out.append(("meets_2x_bar", p["meets_2x_bar"], True, True))
+    return out
+
+
+def bars_dynamic(p: dict) -> list[tuple]:
+    floor = p.get("speedup_bar", 3.0)
+    out = []
+    for name, row in sorted((p.get("scenarios") or {}).items()):
+        if isinstance(row, dict) and _num(row.get("warm_speedup_over_cold")):
+            out.append(
+                (
+                    f"scenarios.{name}.warm_speedup_over_cold",
+                    row["warm_speedup_over_cold"],
+                    floor,
+                    True,
+                )
+            )
+    return out
+
+
+def bars_kernels(p: dict) -> list[tuple]:
+    out = []
+    if _num(p.get("largest_instance_speedup")):
+        out.append(("largest_instance_speedup", p["largest_instance_speedup"], 1.0, True))
+    if isinstance(p.get("optimized_beats_seed"), bool):
+        out.append(("optimized_beats_seed", p["optimized_beats_seed"], True, True))
+    return out
+
+
+def bars_mpc_substrate(p: dict) -> list[tuple]:
+    out = []
+    for flag in ("columnar_beats_object", "parity_checked"):
+        if isinstance(p.get(flag), bool):
+            out.append((flag, p[flag], True, True))
+    return out
+
+
+def bars_mpc_adaptive(p: dict) -> list[tuple]:
+    out = []
+    bar = p.get("frontier_bar") or {}
+    floor = bar.get("threshold", 4.0)
+    if _num(p.get("frontier_ratio")):
+        out.append(("frontier_ratio", p["frontier_ratio"], floor, True))
+    if isinstance(p.get("certificates_bit_checked"), bool):
+        out.append(
+            ("certificates_bit_checked", p["certificates_bit_checked"], True, True)
+        )
+    return out
+
+
+def bars_sharding(p: dict) -> list[tuple]:
+    out = []
+    if isinstance(p.get("determinism_bit_identical"), bool):
+        out.append(
+            ("determinism_bit_identical", p["determinism_bit_identical"], True, True)
+        )
+    bar = p.get("scaling_bar")
+    if isinstance(bar, dict) and _num(bar.get("speedup_4_workers")):
+        out.append(
+            (
+                "scaling_bar.speedup_4_workers",
+                bar["speedup_4_workers"],
+                bar.get("threshold", 2.5),
+                bool(bar.get("applicable")),
+            )
+        )
+    return out
+
+
+def bars_service(p: dict) -> list[tuple]:
+    out = []
+    warmth = p.get("restart_warmth") or {}
+    if _num(warmth.get("restart_speedup")):
+        out.append(
+            ("restart_warmth.restart_speedup", warmth["restart_speedup"], 3.0, True)
+        )
+    if isinstance(warmth.get("restored_warm_start"), bool):
+        out.append(
+            ("restart_warmth.restored_warm_start", warmth["restored_warm_start"], True, True)
+        )
+    return out
+
+
+def bars_e5(p: dict) -> list[tuple]:
+    rows = p.get("instances")
+    if not isinstance(rows, list) or not rows:
+        return []
+    out = []
+    if all(isinstance(r.get("allocations_match"), bool) for r in rows):
+        out.append(
+            ("allocations_match", all(r["allocations_match"] for r in rows), True, True)
+        )
+    if all(_num(r.get("space_violations")) for r in rows):
+        out.append(
+            ("zero_space_violations",
+             all(r["space_violations"] == 0 for r in rows), True, True)
+        )
+    return out
+
+
+COLLECTORS = (
+    ("BENCH_serving.json", bars_serving),
+    ("BENCH_dynamic.json", bars_dynamic),
+    ("BENCH_kernels.json", bars_kernels),
+    ("BENCH_mpc_substrate.json", bars_mpc_substrate),
+    ("BENCH_mpc_adaptive.json", bars_mpc_adaptive),
+    ("BENCH_sharding.json", bars_sharding),
+    ("BENCH_service.json", bars_service),
+    ("BENCH_e5_mpc_rounds.json", bars_e5),
+)
+
+
+def build_bars(
+    root: Path | str = REPO_ROOT, *, missing_ok: bool = False
+) -> tuple[dict, list[str]]:
+    """``({bar_id: entry}, missing_files)`` from the payloads under ``root``.
+
+    Bar ids are ``<payload stem>/<bar name>``; entries hold the bar's
+    source file, value, floor, host-applicability, and whether it is
+    met (``None`` when not applicable).  With ``missing_ok`` absent or
+    unparseable payloads land in ``missing_files`` instead of raising —
+    the mode the consistency checker and ``--diff`` use, since missing
+    payloads are reported separately.
+    """
+    root = Path(root)
+    bars: dict[str, dict] = {}
+    missing: list[str] = []
+    for name, collect in COLLECTORS:
+        path = root / name
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            if missing_ok:
+                missing.append(name)
+                continue
+            raise
+        stem = name[len("BENCH_"):-len(".json")]
+        for bar_name, value, floor, applicable in collect(payload):
+            if not applicable:
+                met = None
+            elif isinstance(value, bool):
+                met = value is True
+            else:
+                met = float(value) >= float(floor)
+            bars[f"{stem}/{bar_name}"] = {
+                "file": name,
+                "value": value,
+                "floor": floor,
+                "applicable": applicable,
+                "met": met,
+            }
+    return bars, missing
+
+
+def build_trajectory(
+    root: Path | str = REPO_ROOT, *, missing_ok: bool = False
+) -> dict:
+    """The full trajectory payload for the tree under ``root``."""
+    bars, missing = build_bars(root, missing_ok=missing_ok)
+    payload = {
+        "schema": TRAJECTORY_SCHEMA,
+        "benchmark": "performance trajectory (all committed bench bars)",
+        "bars": bars,
+        "bar_count": len(bars),
+        "missing_payloads": missing,
+    }
+    return stamp_payload(payload)
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_trajectory.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    write_bench_payload(
+        build_trajectory(REPO_ROOT), args.out, "BENCH_trajectory.json"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,18 +13,34 @@ multi-core host) pass when the payload records them as not applicable
 — an honest "could not measure here" is not a regression; a recorded
 ``"met": false`` is.
 
-Run from the repo root (no arguments, exit code 0/1)::
+Beyond the per-payload bars, the committed ``BENCH_trajectory.json``
+(written by ``bench_trajectory.py``) must agree bar-for-bar with the
+payloads it indexes — regenerating a payload without regenerating the
+trajectory is a stale-trajectory failure, and editing the trajectory
+by hand is a disagreement failure.  ``--diff FRESH_DIR`` compares a
+freshly recorded payload tree (e.g. a CI smoke run) against the
+*committed* trajectory's floors without touching the committed files.
+
+Run from the repo root (exit code 0/1)::
 
     python benchmarks/check_bench_floors.py
+    python benchmarks/check_bench_floors.py --diff /tmp/fresh_bench
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
+if not __package__:  # invoked as a script: self-contained path setup
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.bench_trajectory import TRAJECTORY_SCHEMA, build_bars
+
 ROOT = Path(__file__).resolve().parents[1]
+TRAJECTORY_NAME = "BENCH_trajectory.json"
 
 
 def _fail(name: str, message: str) -> str:
@@ -148,6 +164,61 @@ CHECKS = (
 )
 
 
+def check_trajectory(root: Path) -> list[str]:
+    """The committed trajectory must mirror the payloads bar-for-bar.
+
+    Floors themselves are guarded by the per-payload checkers above;
+    this guards the *index*: every bar derivable from the committed
+    payloads appears in the trajectory with the identical entry, and
+    the trajectory holds no bar without a source.  Payloads already
+    reported missing/malformed by the per-payload pass are excluded
+    from the comparison rather than double-reported.
+    """
+    path = root / TRAJECTORY_NAME
+    if not path.exists():
+        return [_fail(TRAJECTORY_NAME, "missing from the repo root")]
+    try:
+        committed = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [_fail(TRAJECTORY_NAME, f"not valid JSON ({exc})")]
+    if committed.get("schema") != TRAJECTORY_SCHEMA:
+        return [
+            _fail(TRAJECTORY_NAME, f"unknown schema {committed.get('schema')!r}")
+        ]
+    recorded = committed.get("bars")
+    if not isinstance(recorded, dict):
+        return [_fail(TRAJECTORY_NAME, "bars mapping missing")]
+    problems = []
+    rebuilt, unreadable = build_bars(root, missing_ok=True)
+    for bar_id, entry in sorted(rebuilt.items()):
+        got = recorded.get(bar_id)
+        if got is None:
+            problems.append(
+                _fail(
+                    TRAJECTORY_NAME,
+                    f"bar {bar_id!r} missing — stale trajectory, "
+                    f"re-run benchmarks/bench_trajectory.py",
+                )
+            )
+        elif got != entry:
+            problems.append(
+                _fail(
+                    TRAJECTORY_NAME,
+                    f"bar {bar_id!r} disagrees with its payload: "
+                    f"recorded {got!r}, payload says {entry!r}",
+                )
+            )
+    for bar_id in sorted(set(recorded) - set(rebuilt)):
+        entry = recorded[bar_id]
+        source = entry.get("file") if isinstance(entry, dict) else None
+        if source in unreadable:
+            continue
+        problems.append(
+            _fail(TRAJECTORY_NAME, f"bar {bar_id!r} has no source payload")
+        )
+    return problems
+
+
 def run_checks(root: Path = ROOT) -> list[str]:
     """All floor failures under ``root`` (empty = every bar holds).
 
@@ -168,19 +239,86 @@ def run_checks(root: Path = ROOT) -> list[str]:
             continue
         for problem in checker(payload):
             failures.append(_fail(name, problem))
+    failures.extend(check_trajectory(root))
     return failures
 
 
-def main(root: Path = ROOT) -> int:
+def diff_against_trajectory(
+    fresh_root: Path, root: Path = ROOT
+) -> tuple[list[str], list[str]]:
+    """``(failures, notes)`` comparing a fresh run to the committed floors.
+
+    Every bar derivable from the payloads under ``fresh_root`` is held
+    to the floor the *committed* trajectory records for it.  Payloads a
+    smoke run did not produce are noted and skipped; comparing nothing
+    at all is itself a failure (a vacuous pass hides a broken smoke
+    job).
+    """
+    try:
+        committed = json.loads((root / TRAJECTORY_NAME).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [_fail(TRAJECTORY_NAME, f"unreadable committed trajectory ({exc})")], []
+    recorded = committed.get("bars")
+    if committed.get("schema") != TRAJECTORY_SCHEMA or not isinstance(recorded, dict):
+        return [_fail(TRAJECTORY_NAME, "committed trajectory malformed")], []
+    fresh_bars, missing = build_bars(fresh_root, missing_ok=True)
+    failures: list[str] = []
+    notes: list[str] = [f"skipped {name}: not in fresh run" for name in missing]
+    compared = 0
+    for bar_id, fresh in sorted(fresh_bars.items()):
+        base = recorded.get(bar_id)
+        if base is None:
+            notes.append(f"new bar {bar_id}: not in committed trajectory")
+            continue
+        if not fresh["applicable"]:
+            notes.append(f"skipped {bar_id}: not applicable on this host")
+            continue
+        floor = base.get("floor")
+        value = fresh["value"]
+        compared += 1
+        held = value is True if isinstance(value, bool) else float(value) >= float(floor)
+        if not held:
+            failures.append(
+                f"{bar_id}: fresh value {value!r} below committed floor {floor!r}"
+            )
+    if compared == 0:
+        failures.append(
+            f"no fresh bars under {fresh_root} to compare against the trajectory"
+        )
+    return failures, notes
+
+
+def main(root: Path = ROOT, argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--diff", metavar="FRESH_DIR", default=None,
+        help="compare freshly recorded BENCH_*.json under FRESH_DIR "
+             "against the committed trajectory floors",
+    )
+    args = parser.parse_args([] if argv is None else argv)
+    if args.diff:
+        failures, notes = diff_against_trajectory(Path(args.diff), root)
+        for note in notes:
+            print(f"  note: {note}")
+        if failures:
+            print("fresh-run regression(s) vs committed trajectory:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("fresh bars hold the committed trajectory floors")
+        return 0
     failures = run_checks(root)
     if failures:
         print("benchmark floor regression(s):", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"all {len(CHECKS)} benchmark payloads hold their recorded floors")
+    print(
+        f"all {len(CHECKS)} benchmark payloads and the trajectory "
+        f"hold their recorded floors"
+    )
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(argv=sys.argv[1:]))

@@ -369,6 +369,100 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_checked(path: str):
+    """Load a SweepSpec JSON file; ``None`` (after stderr) on bad input."""
+    from repro.sweeps import SweepSpec
+
+    try:
+        return SweepSpec.from_json(open(path).read())
+    except FileNotFoundError:
+        print(f"spec file not found: {path}", file=sys.stderr)
+    except json.JSONDecodeError as exc:
+        print(f"spec file is not valid JSON: {path} ({exc})", file=sys.stderr)
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"malformed sweep spec: {path} ({exc})", file=sys.stderr)
+    return None
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweeps import run_sweep
+
+    spec = _load_spec_checked(args.spec)
+    if spec is None:
+        return 2
+    try:
+        result = run_sweep(
+            spec,
+            args.out,
+            executor=args.executor,
+            workers=args.workers,
+            echo=(print if args.verbose else None),
+        )
+    except ValueError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"sweep {spec.name!r}: {result.total_cells} cells "
+        f"({result.ran} ran, {result.skipped} already recorded) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_sweep_cells(args: argparse.Namespace) -> int:
+    spec = _load_spec_checked(args.spec)
+    if spec is None:
+        return 2
+    for cell in spec.expand():
+        print(
+            f"{cell.cell_id}  {cell.family} n={cell.n} eps={cell.epsilon} "
+            f"seed={cell.seed} {dict(cell.config)}"
+        )
+    return 0
+
+
+def _cmd_sweep_extract(args: argparse.Namespace) -> int:
+    from repro.sweeps import comparison_table, load_records
+
+    try:
+        records = load_records(args.out)
+        table = comparison_table(
+            records, rows=args.rows, cols=args.cols,
+            value=args.value, agg=args.agg,
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"extract failed: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(table.to_json(), sort_keys=True, indent=2))
+    elif args.format == "markdown":
+        print(table.to_markdown())
+    else:
+        print(table.to_ascii())
+    return 0
+
+
+def _cmd_sweep_plot(args: argparse.Namespace) -> int:
+    from repro.sweeps import ascii_chart, load_records, plot_payload
+
+    try:
+        records = load_records(args.out)
+        payload = plot_payload(
+            records, x=args.x, y=args.y, group=args.group or None
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"plot failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        from pathlib import Path
+
+        Path(args.json_out).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
+        print(f"wrote plot data -> {args.json_out}")
+    print(ascii_chart(payload))
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.graphs.properties import profile_graph
 
@@ -547,6 +641,59 @@ def main(argv: list[str] | None = None) -> int:
     p_info = sub.add_parser("info", help="print instance statistics")
     p_info.add_argument("instance")
     p_info.set_defaults(fn=_cmd_info)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run / inspect declarative parameter sweeps (repro.sweeps)",
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_sw_run = sweep_sub.add_parser(
+        "run", help="execute (or resume) a sweep spec into a manifest dir"
+    )
+    p_sw_run.add_argument("--spec", required=True, help="SweepSpec JSON file")
+    p_sw_run.add_argument("--out", required=True, help="manifest directory")
+    p_sw_run.add_argument(
+        "--executor", choices=("inline", "process"), default="inline",
+        help="inline: each cell in-process; process: fan out through "
+             "the shard fleet (DESIGN.md §12)",
+    )
+    p_sw_run.add_argument("--workers", type=int, default=None,
+                          help="process-executor fleet size")
+    p_sw_run.add_argument("--verbose", action="store_true",
+                          help="echo per-cell progress")
+    p_sw_run.set_defaults(fn=_cmd_sweep_run)
+
+    p_sw_cells = sweep_sub.add_parser(
+        "cells", help="print a spec's expanded cells (id + axes)"
+    )
+    p_sw_cells.add_argument("--spec", required=True)
+    p_sw_cells.set_defaults(fn=_cmd_sweep_cells)
+
+    p_sw_extract = sweep_sub.add_parser(
+        "extract", help="pivot recorded cells into a comparison table"
+    )
+    p_sw_extract.add_argument("--out", required=True, help="manifest directory")
+    p_sw_extract.add_argument("--rows", default="family")
+    p_sw_extract.add_argument("--cols", default="n")
+    p_sw_extract.add_argument("--value", default="local_rounds")
+    p_sw_extract.add_argument("--agg", default="mean",
+                              choices=("mean", "min", "max", "sum"))
+    p_sw_extract.add_argument("--format", default="ascii",
+                              choices=("ascii", "markdown", "json"))
+    p_sw_extract.set_defaults(fn=_cmd_sweep_extract)
+
+    p_sw_plot = sweep_sub.add_parser(
+        "plot", help="emit ASCII/JSON plot data from recorded cells"
+    )
+    p_sw_plot.add_argument("--out", required=True, help="manifest directory")
+    p_sw_plot.add_argument("--x", default="n")
+    p_sw_plot.add_argument("--y", default="local_rounds")
+    p_sw_plot.add_argument("--group", default="family",
+                           help="series axis ('' for a single series)")
+    p_sw_plot.add_argument("--json-out", default=None,
+                           help="also write the JSON plot payload here")
+    p_sw_plot.set_defaults(fn=_cmd_sweep_plot)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -36,9 +36,12 @@ from repro.dynamic.deltas import (
 from repro.dynamic.scenarios import (
     SCENARIOS,
     adversarial_churn,
+    correlated_flash_crowd,
     diurnal_wave,
     flash_crowd,
     rolling_maintenance,
+    stream_to_trace,
+    trace_to_stream,
 )
 from repro.dynamic.session import DynamicSession, DynamicStats
 
@@ -64,5 +67,8 @@ __all__ = [
     "flash_crowd",
     "rolling_maintenance",
     "adversarial_churn",
+    "correlated_flash_crowd",
+    "stream_to_trace",
+    "trace_to_stream",
     "SCENARIOS",
 ]

@@ -38,13 +38,25 @@ The four scenario classes:
 * :func:`adversarial_churn` — edge rewiring plus random demand flips,
   the keep-nothing-stable stress stream.
 
+* :func:`correlated_flash_crowd` — several crowds arrive *in the same
+  step*, each wired into overlapping subsets of one hot server pool
+  whose demand spikes simultaneously; the correlated-failure shape
+  (one viral event, many entry points) that uncorrelated
+  :func:`flash_crowd` bursts cannot produce.
+
 ``SCENARIOS`` maps names to generators for the CLI and benchmarks.
+
+Trace replay: :func:`trace_to_stream` converts a JSONL bipartite event
+log into ``(instance, deltas)``; :func:`stream_to_trace` is its
+inverse, so any scenario stream can be exported, shipped, and replayed
+bit-for-bit elsewhere.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -57,6 +69,7 @@ from repro.dynamic.deltas import (
     EdgeRemove,
     InstanceDelta,
 )
+from repro.graphs.bipartite import build_graph
 from repro.graphs.instances import AllocationInstance
 from repro.utils.rng import RngFactory
 
@@ -65,6 +78,9 @@ __all__ = [
     "flash_crowd",
     "rolling_maintenance",
     "adversarial_churn",
+    "correlated_flash_crowd",
+    "trace_to_stream",
+    "stream_to_trace",
     "SCENARIOS",
 ]
 
@@ -277,9 +293,226 @@ def adversarial_churn(
     return deltas
 
 
+def correlated_flash_crowd(
+    instance: AllocationInstance,
+    steps: int,
+    *,
+    crowds: int = 3,
+    crowd: int = 4,
+    degree: int = 2,
+    hot_fraction: float = 0.25,
+    spike: int = 2,
+    start: int = 1,
+    duration: Optional[int] = None,
+    seed=None,
+) -> list[InstanceDelta]:
+    """Correlated demand spikes: many crowds, one hot server pool.
+
+    Slot 1 picks a hot pool of ``max(degree, hot_fraction · n_right)``
+    servers once, up front.  During the burst window each step emits a
+    single :class:`Compound` holding ``crowds`` simultaneous
+    :class:`ClientArrival` blocks — every new client wired to
+    ``degree`` servers drawn *from the hot pool*, so the crowds'
+    neighborhoods overlap heavily — plus a :class:`DemandChange`
+    multiplying each hot server's capacity by ``spike`` (slot 0 keys
+    the per-step selection of which hot servers spike).  After the
+    burst the arrivals depart LIFO and the hot pool's demand is
+    restored; once everyone has left, steps fall back to small rotating
+    capacity bumps on the hot pool so every step still changes the
+    instance (the :func:`flash_crowd` convention).
+    """
+    if crowds < 1 or crowd < 1 or degree < 1:
+        raise ValueError("crowds, crowd, and degree must be >= 1")
+    if not (0.0 < hot_fraction <= 1.0):
+        raise ValueError(f"hot_fraction must lie in (0, 1], got {hot_fraction}")
+    if spike < 1:
+        raise ValueError(f"spike must be >= 1, got {spike}")
+    n_right = instance.n_right
+    if n_right == 0:
+        raise ValueError("correlated_flash_crowd needs at least one server")
+    degree = min(degree, n_right)
+    if duration is None:
+        duration = max(1, (steps - start) // 3)
+    factory = RngFactory(seed)
+    pool_size = min(n_right, max(degree, int(round(hot_fraction * n_right))))
+    hot_pool = np.sort(
+        factory.get(0, ARRIVAL_SLOT).choice(n_right, size=pool_size, replace=False)
+    )
+    base_caps = instance.capacities
+    deltas: list[InstanceDelta] = []
+    arrived = 0
+    base_left = instance.n_left
+    spiked = False
+    for t in range(steps):
+        in_burst = start <= t < start + duration
+        if in_burst:
+            rng = factory.get(t, ARRIVAL_SLOT)
+            parts: list[InstanceDelta] = []
+            for _ in range(crowds):
+                neighbors = tuple(
+                    tuple(
+                        int(hot_pool[i])
+                        for i in rng.choice(pool_size, size=degree, replace=False)
+                    )
+                    for _ in range(crowd)
+                )
+                parts.append(ClientArrival(neighbors=neighbors))
+                arrived += crowd
+            rng_c = factory.get(t, CAPACITY_SLOT)
+            n_spike = max(1, pool_size // 2)
+            targets = rng_c.choice(pool_size, size=n_spike, replace=False)
+            updates = {
+                int(hot_pool[i]): int(base_caps[hot_pool[i]]) * spike
+                for i in targets
+            }
+            parts.append(DemandChange(updates=updates))
+            spiked = True
+            deltas.append(Compound(deltas=tuple(parts)))
+        elif arrived > 0:
+            parts = []
+            leave = min(crowds * crowd, arrived)
+            first = base_left + arrived - leave
+            parts.append(ClientDeparture(clients=tuple(range(first, first + leave))))
+            arrived -= leave
+            if spiked:
+                parts.append(
+                    DemandChange(
+                        updates={
+                            int(v): int(base_caps[v]) for v in hot_pool
+                        }
+                    )
+                )
+                spiked = False
+            deltas.append(Compound(deltas=tuple(parts)))
+        else:
+            rng = factory.get(t, CAPACITY_SLOT)
+            v = int(hot_pool[int(rng.integers(0, pool_size))])
+            deltas.append(
+                DemandChange(updates={v: int(base_caps[v]) + int(rng.integers(1, 3))})
+            )
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# Trace replay: JSONL event log  ↔  (instance, delta stream)
+# ---------------------------------------------------------------------------
+
+def _delta_to_event(delta: InstanceDelta) -> dict:
+    if isinstance(delta, ClientArrival):
+        return {"event": "arrive",
+                "neighbors": [list(nbrs) for nbrs in delta.neighbors]}
+    if isinstance(delta, ClientDeparture):
+        return {"event": "depart", "clients": list(delta.clients)}
+    if isinstance(delta, DemandChange):
+        return {"event": "demand",
+                "updates": {str(v): int(c) for v, c in sorted(delta.updates.items())}}
+    if isinstance(delta, EdgeAdd):
+        return {"event": "edge_add", "edges": [list(e) for e in delta.edges]}
+    if isinstance(delta, EdgeRemove):
+        return {"event": "edge_remove", "edges": [list(e) for e in delta.edges]}
+    if isinstance(delta, Compound):
+        return {"event": "compound",
+                "parts": [_delta_to_event(part) for part in delta.deltas]}
+    raise TypeError(f"cannot serialise delta of type {type(delta).__name__}")
+
+
+def _event_to_delta(event: dict) -> InstanceDelta:
+    kind = event.get("event")
+    if kind == "arrive":
+        return ClientArrival(
+            neighbors=tuple(tuple(int(v) for v in nbrs)
+                            for nbrs in event["neighbors"])
+        )
+    if kind == "depart":
+        return ClientDeparture(clients=tuple(int(u) for u in event["clients"]))
+    if kind == "demand":
+        return DemandChange(
+            updates={int(v): int(c) for v, c in event["updates"].items()}
+        )
+    if kind == "edge_add":
+        return EdgeAdd(edges=tuple((int(u), int(v)) for u, v in event["edges"]))
+    if kind == "edge_remove":
+        return EdgeRemove(edges=tuple((int(u), int(v)) for u, v in event["edges"]))
+    if kind == "compound":
+        return Compound(
+            deltas=tuple(_event_to_delta(part) for part in event["parts"])
+        )
+    raise ValueError(f"unknown trace event {kind!r}")
+
+
+def trace_to_stream(
+    lines: Iterable[str],
+) -> tuple[AllocationInstance, list[InstanceDelta]]:
+    """Parse a JSONL bipartite event log into ``(instance, deltas)``.
+
+    The first line must be an ``init`` event carrying the base
+    bipartite graph and capacities; every following line is one stream
+    step.  The format is exactly what :func:`stream_to_trace` emits,
+    so ``trace_to_stream(stream_to_trace(inst, deltas))`` round-trips
+    bit-for-bit::
+
+        {"event": "init", "n_left": 4, "n_right": 2,
+         "edges": [[0, 0], [1, 1]], "capacities": [2, 2]}
+        {"event": "arrive", "neighbors": [[0], [1]]}
+        {"event": "demand", "updates": {"0": 3}}
+
+    Accepts any iterable of strings (an open file, ``Path.read_text()
+    .splitlines()``, a list); blank lines are skipped.
+    """
+    it = (line for line in lines if line.strip())
+    try:
+        head = json.loads(next(it))
+    except StopIteration:
+        raise ValueError("empty trace: expected an init event") from None
+    if head.get("event") != "init":
+        raise ValueError(
+            f"first trace event must be 'init', got {head.get('event')!r}"
+        )
+    n_left = int(head["n_left"])
+    n_right = int(head["n_right"])
+    edges = head.get("edges", [])
+    eu = np.asarray([int(u) for u, _ in edges], dtype=np.int64)
+    ev = np.asarray([int(v) for _, v in edges], dtype=np.int64)
+    graph = build_graph(n_left, n_right, eu, ev)
+    caps = np.asarray([int(c) for c in head["capacities"]], dtype=np.int64)
+    instance = AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=head.get("lambda_bound"),
+        name=str(head.get("name", "trace")),
+        metadata={"family": "trace_replay"},
+    )
+    deltas = [_event_to_delta(json.loads(line)) for line in it]
+    return instance, deltas
+
+
+def stream_to_trace(
+    instance: AllocationInstance, deltas: Iterable[InstanceDelta]
+) -> list[str]:
+    """Serialise ``(instance, deltas)`` as JSONL lines (see
+    :func:`trace_to_stream`).  Keys are sorted so equal streams always
+    produce byte-identical traces."""
+    g = instance.graph
+    head = {
+        "event": "init",
+        "n_left": g.n_left,
+        "n_right": g.n_right,
+        "edges": [[int(u), int(v)] for u, v in zip(g.edge_u, g.edge_v)],
+        "capacities": [int(c) for c in instance.capacities],
+        "lambda_bound": instance.arboricity_upper_bound,
+        "name": instance.name,
+    }
+    lines = [json.dumps(head, sort_keys=True)]
+    lines.extend(
+        json.dumps(_delta_to_event(d), sort_keys=True) for d in deltas
+    )
+    return lines
+
+
 SCENARIOS: dict[str, Callable[..., list[InstanceDelta]]] = {
     "diurnal_wave": diurnal_wave,
     "flash_crowd": flash_crowd,
     "rolling_maintenance": rolling_maintenance,
     "adversarial_churn": adversarial_churn,
+    "correlated_flash_crowd": correlated_flash_crowd,
 }

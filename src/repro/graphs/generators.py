@@ -52,8 +52,19 @@ __all__ = [
     "load_balancing_instance",
     "adwords_instance",
     "skew_frontier_instance",
+    "heavy_tailed_instance",
+    "adversarial_rounds_instance",
+    "sized_instance",
     "FAMILY_BUILDERS",
+    "SIZED_FAMILIES",
+    "POWER_LAW_EXPONENT_RANGE",
 ]
+
+# power_law_instance clamps its exponent into this closed range: below
+# 1.0 the Zipf weights stop decaying (the family degenerates to
+# near-uniform), above 8.0 double rounding makes every weight except
+# the first underflow to the same popularity.
+POWER_LAW_EXPONENT_RANGE = (1.0, 8.0)
 
 
 def _dedupe(n_left: int, n_right: int, eu: np.ndarray, ev: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -115,12 +126,18 @@ def union_of_forests(
     fixed, sweeping ``k`` sweeps arboricity while the vertex set, the
     capacity profile, and the generator stay identical.
 
+    ``k = 0`` is the degenerate end of the sweep: an edgeless instance
+    (every sweep over k should include its empty baseline).  The
+    certified bound stays 1 — arboricity bounds are ≥ 1 by convention
+    and an edgeless graph trivially satisfies it.
+
     ``capacity`` is either a constant or ``"degree"`` for
     degree-proportional capacities.
     """
     n_left = check_positive_int(n_left, "n_left")
     n_right = check_positive_int(n_right, "n_right")
-    k = check_positive_int(k, "k")
+    if k != 0:
+        k = check_positive_int(k, "k")
     streams = spawn(seed, k)
     eu_parts: list[np.ndarray] = []
     ev_parts: list[np.ndarray] = []
@@ -136,7 +153,7 @@ def union_of_forests(
     return AllocationInstance(
         graph=graph,
         capacities=caps,
-        arboricity_upper_bound=k,
+        arboricity_upper_bound=max(k, 1),
         name=f"forests(k={k})",
         metadata={"family": "union_of_forests", "n_left": n_left,
                   "n_right": n_right, "k": k, "capacity": capacity},
@@ -281,10 +298,17 @@ def power_law_instance(
     advertisers sampled by popularity.  Degree skew concentrates edges
     on a dense core — the workload shape the paper's introduction
     motivates — while overall density stays low.
+
+    ``exponent`` is clamped into :data:`POWER_LAW_EXPONENT_RANGE`;
+    the metadata records both the requested and the effective value so
+    sweep tables stay honest about what actually ran.
     """
     n_left = check_positive_int(n_left, "n_left")
     n_right = check_positive_int(n_right, "n_right")
     mean_left_degree = check_positive_int(mean_left_degree, "mean_left_degree")
+    lo, hi = POWER_LAW_EXPONENT_RANGE
+    requested_exponent = float(exponent)
+    exponent = min(max(requested_exponent, lo), hi)
     rng = as_generator(seed)
     weights = 1.0 / np.power(np.arange(1, n_right + 1, dtype=np.float64), exponent - 1.0)
     rng.shuffle(weights)
@@ -310,6 +334,7 @@ def power_law_instance(
         name=f"powerlaw(n={n_left}+{n_right})",
         metadata={"family": "power_law", "n_left": n_left, "n_right": n_right,
                   "mean_left_degree": mean_left_degree, "exponent": exponent,
+                  "requested_exponent": requested_exponent,
                   "capacity": capacity},
     )
 
@@ -649,6 +674,113 @@ def skew_frontier_instance(
     )
 
 
+def heavy_tailed_instance(
+    n_left: int,
+    *,
+    left_degree: int = 4,
+    tail_exponent: float = 1.2,
+    max_capacity: int | None = None,
+    seed=None,
+) -> AllocationInstance:
+    """Heavy-tailed *capacity* skew: a few giant servers hold most of
+    the fleet's capacity.
+
+    Server capacities follow a discrete Pareto law ``cap_v ∝ rank^(−1/
+    tail_exponent)`` (scaled so the largest server holds
+    ``max_capacity``, default ``n_left // 4``), and each client picks
+    ``left_degree`` distinct servers with probability proportional to
+    capacity — demand concentrates exactly where the capacity is, the
+    cloud-serving shape where utilisation skew (not topology) is the
+    stressor.  Left degrees are bounded by ``left_degree``, so the
+    graph is ``left_degree``-degenerate from the client side and the
+    certified arboricity bound is ``left_degree``.
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    left_degree = check_positive_int(left_degree, "left_degree")
+    if tail_exponent <= 0.0:
+        raise ValueError(f"tail_exponent must be > 0, got {tail_exponent}")
+    n_right = max(left_degree + 1, n_left // 2)
+    if max_capacity is None:
+        max_capacity = max(2, n_left // 4)
+    max_capacity = check_positive_int(max_capacity, "max_capacity")
+    rng = as_generator(seed)
+    ranks = np.arange(1, n_right + 1, dtype=np.float64)
+    tail = np.power(ranks, -1.0 / tail_exponent)
+    caps = np.maximum(1, np.rint(max_capacity * tail / tail[0])).astype(np.int64)
+    probs = caps.astype(np.float64) / caps.sum()
+    degree = min(left_degree, n_right)
+    eu_list: list[np.ndarray] = []
+    ev_list: list[np.ndarray] = []
+    for u in range(n_left):
+        nbrs = rng.choice(n_right, size=degree, replace=False, p=probs)
+        eu_list.append(np.full(degree, u, dtype=np.int64))
+        ev_list.append(nbrs.astype(np.int64))
+    eu, ev = _dedupe(n_left, n_right, np.concatenate(eu_list), np.concatenate(ev_list))
+    graph = build_graph(n_left, n_right, eu, ev)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=left_degree,
+        name=f"heavy_tailed(n={n_left})",
+        metadata={"family": "heavy_tailed", "n_left": n_left,
+                  "left_degree": left_degree, "tail_exponent": tail_exponent,
+                  "max_capacity": max_capacity},
+    )
+
+
+def adversarial_rounds_instance(n_left: int, *, seed=None) -> AllocationInstance:
+    """The round-maximizer: tuned against the level-set certificate to
+    fire later than every other family at equal ``n_left``.
+
+    Three tiers per client ``u``: a shared over-allocated core of
+    ``b = max(2, n_left // 8)`` unit servers (every client connects to
+    all of them), a mid tier shared by groups of ``g = max(2, 3b // 2)``
+    clients (one unit server per group), and a private unit fringe
+    server.  The core's priorities fall every round (it is ``L_0``)
+    while the fringe rises, so the termination certificate's mass
+    condition needs the priority gap to beat the core width — the
+    ``slow_spread`` mechanism — and the mid tier adds a second wave:
+    it starts *under*-allocated (``g`` clients each offering ≈ ``1 /
+    (b+2)`` mass), tips over only once the core has drained, and the
+    spill from that late over-allocation has to re-traverse the gap.
+    Empirically this fires one to two rounds after ``slow_spread`` at
+    the same ``n_left`` and ε (e.g. 14 vs 13 at n=120, ε=0.2; 25 vs 24
+    at ε=0.1).
+
+    Left degree is ``b + 2``, so the graph is ``(b+2)``-degenerate from
+    the client side — the certified arboricity bound.  Deterministic;
+    ``seed`` is accepted for registry uniformity.
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    b = max(2, n_left // 8)
+    g = max(2, (3 * b) // 2)
+    n_mid = (n_left + g - 1) // g
+    n_right = b + n_mid + n_left
+    eu = np.empty(n_left * (b + 2), dtype=np.int64)
+    ev = np.empty(n_left * (b + 2), dtype=np.int64)
+    pos = 0
+    for u in range(n_left):
+        eu[pos : pos + b] = u
+        ev[pos : pos + b] = np.arange(b)
+        pos += b
+        eu[pos] = u
+        ev[pos] = b + u // g
+        pos += 1
+        eu[pos] = u
+        ev[pos] = b + n_mid + u
+        pos += 1
+    graph = build_graph(n_left, n_right, eu, ev)
+    caps = np.ones(n_right, dtype=np.int64)
+    return AllocationInstance(
+        graph=graph,
+        capacities=caps,
+        arboricity_upper_bound=b + 2,
+        name=f"adversarial_rounds(n={n_left})",
+        metadata={"family": "adversarial_rounds", "n_left": n_left,
+                  "core_right": b, "mid_group": g},
+    )
+
+
 def _capacity_profile(graph: BipartiteGraph, capacity: int | str, seed) -> np.ndarray:
     """Resolve the ``capacity`` shorthand used by the generators."""
     if isinstance(capacity, str):
@@ -678,4 +810,59 @@ FAMILY_BUILDERS: dict[str, Callable[..., AllocationInstance]] = {
     "load_balancing": load_balancing_instance,
     "adwords": adwords_instance,
     "skew_frontier": skew_frontier_instance,
+    "heavy_tailed": heavy_tailed_instance,
+    "adversarial_rounds": adversarial_rounds_instance,
 }
+
+
+# Size-normalised adapters: one canonical instance of ≈ n clients per
+# family, so sweeps can put every family on a common (family, n) grid.
+# Each rule follows the family's own docstring defaults (slow_spread's
+# width-4 sizing, forests' k=4, …); n is the *target* left-side size —
+# families built from other shape parameters (grid, cycle) land as
+# close to n as their structure allows.
+SIZED_FAMILIES: dict[str, Callable[..., AllocationInstance]] = {
+    "union_of_forests": lambda n, seed=None: union_of_forests(n, n, 4, seed=seed),
+    "star": lambda n, seed=None: star_instance(n),
+    "double_star": lambda n, seed=None: double_star_instance(n),
+    "complete_bipartite": lambda n, seed=None: complete_bipartite_instance(
+        n, max(2, n // 8)
+    ),
+    "erdos_renyi": lambda n, seed=None: erdos_renyi_instance(n, n, 3 * n, seed=seed),
+    "power_law": lambda n, seed=None: power_law_instance(
+        n, max(2, n // 2), seed=seed
+    ),
+    "regular": lambda n, seed=None: regular_instance(n, 4, seed=seed),
+    "grid": lambda n, seed=None: grid_instance(
+        max(2, math.isqrt(n)), max(2, math.isqrt(n))
+    ),
+    "cycle": lambda n, seed=None: cycle_instance(n),
+    "planted_dense_core": lambda n, seed=None: planted_dense_core_instance(
+        max(1, n // 4), max(1, n // 8), max(1, n - n // 4), max(1, n // 2), seed=seed
+    ),
+    "slow_spread": lambda n, seed=None: slow_spread_instance(max(1, n // 4), width=4),
+    "load_balancing": lambda n, seed=None: load_balancing_instance(
+        n, max(2, n // 4), seed=seed
+    ),
+    "adwords": lambda n, seed=None: adwords_instance(n, max(2, n // 6), seed=seed),
+    "skew_frontier": lambda n, seed=None: skew_frontier_instance(n, seed=seed),
+    "heavy_tailed": lambda n, seed=None: heavy_tailed_instance(n, seed=seed),
+    "adversarial_rounds": lambda n, seed=None: adversarial_rounds_instance(n),
+}
+
+
+def sized_instance(family: str, n: int, *, seed=None) -> AllocationInstance:
+    """Build ``family`` at target size ``n`` through :data:`SIZED_FAMILIES`.
+
+    The sweep runner's instance axis: ``(family, n, seed)`` fully
+    determines the instance.  Unknown families raise ``KeyError`` with
+    the valid names so CLI errors stay actionable.
+    """
+    n = check_positive_int(n, "n")
+    try:
+        builder = SIZED_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {family!r}; valid: {', '.join(sorted(SIZED_FAMILIES))}"
+        ) from None
+    return builder(n, seed=seed)

@@ -1,0 +1,136 @@
+"""Extract stage: flatten sweep cell records into comparison tables.
+
+Separated from running (the records are already on disk) and from
+plotting (:mod:`repro.sweeps.plot_data`): extraction is a pure
+function of the manifest directory, so it can re-run at any time,
+over partial sweeps, without touching a solver.
+
+The grid axes — ``family``, ``n``, ``epsilon``, ``seed``, plus every
+swept SolverConfig field — index the records; any deterministic
+result field (``local_rounds``, ``size``, ``match_weight``, …) is a
+value.  :func:`comparison_table` pivots records into a
+:class:`repro.utils.tables.Table` keyed by one row axis and one
+column axis, aggregating duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.sweeps.spec import CELL_SCHEMA
+from repro.utils.tables import Table
+
+__all__ = [
+    "load_records",
+    "flatten_record",
+    "axis_value",
+    "comparison_table",
+]
+
+_AGGREGATORS: dict[str, Callable[[list[float]], float]] = {
+    "mean": lambda xs: sum(xs) / len(xs),
+    "min": min,
+    "max": max,
+    "sum": sum,
+}
+
+
+def load_records(out_dir: Path | str) -> list[dict[str, Any]]:
+    """Every cell record under ``out_dir``, sorted by cell id."""
+    cells_dir = Path(out_dir) / "cells"
+    if not cells_dir.is_dir():
+        raise FileNotFoundError(f"no cells directory under {out_dir}")
+    records = []
+    for path in sorted(cells_dir.glob("*.json")):
+        payload = json.loads(path.read_text())
+        if payload.get("schema") != CELL_SCHEMA:
+            raise ValueError(f"{path} has unknown schema {payload.get('schema')!r}")
+        records.append(payload)
+    return records
+
+
+def flatten_record(record: dict[str, Any]) -> dict[str, Any]:
+    """One flat row: instance axes + config fields + result fields."""
+    cell = record["cell"]
+    flat = {
+        "cell_id": record["cell_id"],
+        "family": cell["family"],
+        "n": cell["n"],
+        "epsilon": cell["epsilon"],
+        "seed": cell["seed"],
+    }
+    flat.update(cell.get("config", {}))
+    flat.update(record.get("result", {}))
+    return flat
+
+
+def axis_value(record: dict[str, Any], axis: str) -> Any:
+    """Look ``axis`` up in a record: instance axis, config field, or
+    result field — in that order."""
+    flat = flatten_record(record)
+    if axis not in flat:
+        raise KeyError(
+            f"axis {axis!r} not present; available: {', '.join(sorted(flat))}"
+        )
+    return flat[axis]
+
+
+def _sort_key(value: Any):
+    return (isinstance(value, str), value if not isinstance(value, str) else 0, str(value))
+
+
+def comparison_table(
+    records: list[dict[str, Any]],
+    *,
+    rows: str = "family",
+    cols: str = "n",
+    value: str = "local_rounds",
+    agg: str = "mean",
+    title: Optional[str] = None,
+) -> Table:
+    """Pivot records into a ``rows × cols`` table of ``value``.
+
+    Cells holding several records (other axes varying) aggregate with
+    ``agg`` (mean/min/max/sum); empty cells render as ``—``.
+    """
+    if agg not in _AGGREGATORS:
+        raise ValueError(
+            f"agg must be one of {', '.join(sorted(_AGGREGATORS))}, got {agg!r}"
+        )
+    if not records:
+        raise ValueError("no records to tabulate")
+    aggregate = _AGGREGATORS[agg]
+    buckets: dict[tuple[Any, Any], list[float]] = {}
+    row_values: list[Any] = []
+    col_values: list[Any] = []
+    for record in records:
+        r = axis_value(record, rows)
+        c = axis_value(record, cols)
+        v = axis_value(record, value)
+        if v is None:
+            continue
+        if r not in row_values:
+            row_values.append(r)
+        if c not in col_values:
+            col_values.append(c)
+        buckets.setdefault((r, c), []).append(float(v))
+    row_values.sort(key=_sort_key)
+    col_values.sort(key=_sort_key)
+    table = Table(
+        title or f"{value} by {rows} × {cols} ({agg})",
+        columns=[rows] + [f"{cols}={c}" for c in col_values],
+    )
+    for r in row_values:
+        row: dict[str, Any] = {rows: r}
+        for c in col_values:
+            xs = buckets.get((r, c))
+            if xs is None:
+                row[f"{cols}={c}"] = "—"
+            else:
+                out = aggregate(xs)
+                row[f"{cols}={c}"] = int(out) if float(out).is_integer() else round(out, 4)
+        table.add_row(**row)
+    table.add_note(f"{len(records)} cell records, aggregated by {agg}")
+    return table

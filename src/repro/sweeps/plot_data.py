@@ -1,0 +1,108 @@
+"""Plot stage: matplotlib-free plot data from sweep records.
+
+Emits (1) a JSON payload — per-series sorted ``(x, y)`` points, ready
+for any external plotting tool — and (2) an ASCII chart so CI logs and
+terminals can see the shape without a display server.  Both are pure
+functions of the extract stage's records: no solver, no files written
+unless the caller asks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.sweeps.extract import axis_value
+
+__all__ = ["series_points", "plot_payload", "ascii_chart"]
+
+PLOT_SCHEMA = "repro.sweeps/plot/v1"
+
+_MARKERS = "ox+*#@%&"
+
+
+def series_points(
+    records: list[dict[str, Any]],
+    *,
+    x: str = "n",
+    y: str = "local_rounds",
+    group: Optional[str] = "family",
+) -> dict[str, list[list[float]]]:
+    """``{series_label: [[x, y], …]}`` with points sorted by x.
+
+    ``group=None`` produces a single series named after ``y``.  Points
+    sharing an x within a series are averaged (the extract stage's
+    ``mean`` convention).
+    """
+    buckets: dict[str, dict[float, list[float]]] = {}
+    for record in records:
+        label = str(axis_value(record, group)) if group else y
+        xv = float(axis_value(record, x))
+        yv = axis_value(record, y)
+        if yv is None:
+            continue
+        buckets.setdefault(label, {}).setdefault(xv, []).append(float(yv))
+    out: dict[str, list[list[float]]] = {}
+    for label in sorted(buckets):
+        pts = [
+            [xv, sum(ys) / len(ys)] for xv, ys in sorted(buckets[label].items())
+        ]
+        out[label] = pts
+    return out
+
+
+def plot_payload(
+    records: list[dict[str, Any]],
+    *,
+    x: str = "n",
+    y: str = "local_rounds",
+    group: Optional[str] = "family",
+) -> dict[str, Any]:
+    """The schema-versioned JSON plot payload for ``records``."""
+    return {
+        "schema": PLOT_SCHEMA,
+        "x": x,
+        "y": y,
+        "group": group,
+        "series": series_points(records, x=x, y=y, group=group),
+    }
+
+
+def ascii_chart(
+    payload: dict[str, Any], *, width: int = 64, height: int = 16
+) -> str:
+    """Render a plot payload as an ASCII scatter chart with a legend."""
+    if payload.get("schema") != PLOT_SCHEMA:
+        raise ValueError(f"unknown plot schema {payload.get('schema')!r}")
+    series = payload["series"]
+    points = [(pt[0], pt[1]) for pts in series.values() for pt in pts]
+    if not points:
+        return "(no data)\n"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        for xv, yv in pts:
+            col = int(round((xv - x_lo) / x_span * (width - 1)))
+            row = int(round((yv - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = [f"{payload['y']} vs {payload['x']}"]
+    lines.append(f"{y_hi:g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("      │".rjust(8) + "".join(row))
+    lines.append(f"{y_lo:g} ┤".rjust(8) + "".join(grid[-1]))
+    lines.append("      └" + "─" * width)
+    lines.append(f"       {x_lo:g}".ljust(width // 2 + 7) + f"{x_hi:g}")
+    lines.extend(legend)
+    return "\n".join(lines) + "\n"
+
+
+def dumps(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"

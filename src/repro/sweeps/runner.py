@@ -1,0 +1,202 @@
+"""The resumable sweep runner: one JSON record per cell, on disk.
+
+Layout under the manifest directory::
+
+    <out>/manifest.json        — spec + expanded cell ids (written first)
+    <out>/cells/<cell_id>.json — one deterministic record per cell
+    <out>/timings.jsonl        — wall-clock per run (appended, non-deterministic)
+
+Resume is skip-if-present: a record whose file exists is never re-run,
+so a sweep killed mid-grid (even SIGKILL) picks up exactly where it
+stopped — records are written atomically (tmp + ``os.replace``), so a
+partial file can never be mistaken for a finished cell.  Records
+contain only deterministic fields (axes + solve outcome); wall-clock
+timing goes to ``timings.jsonl`` so an interrupted-and-resumed sweep
+produces cell records *byte-identical* to an uninterrupted one.
+
+``executor="process"`` fans cells out through the existing
+multi-process shard machinery (:class:`repro.serve.ShardedExecutor`
+via ``Engine.batch``): cells are grouped by solver config, each group
+is served as a batch of cold ``SolveRequest``s, and the per-request
+bit-identity contract (cold ``warm=False`` solve ≡ ``Engine.solve``)
+keeps process-produced records identical to inline ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.sweeps.spec import CELL_SCHEMA, SweepCell, SweepSpec
+
+__all__ = ["run_sweep", "SweepRunResult", "record_path", "load_manifest"]
+
+MANIFEST_SCHEMA = "repro.sweeps/manifest/v1"
+
+# The deterministic solve-outcome fields every cell record carries.
+# Chosen so the inline and process paths agree bit-for-bit (both are
+# backed by the same cold-solve contract); timing never appears here.
+_RESULT_FIELDS = (
+    "size", "match_weight", "local_rounds", "mpc_rounds",
+    "certified", "guarantee",
+)
+
+
+@dataclass(frozen=True)
+class SweepRunResult:
+    """What a :func:`run_sweep` call did (not the sweep's contents)."""
+
+    out_dir: Path
+    total_cells: int
+    ran: int
+    skipped: int
+
+    @property
+    def complete(self) -> bool:
+        return self.ran + self.skipped == self.total_cells
+
+
+def record_path(out_dir: Path | str, cell_id: str) -> Path:
+    return Path(out_dir) / "cells" / f"{cell_id}.json"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _dump(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def load_manifest(out_dir: Path | str) -> dict[str, Any]:
+    path = Path(out_dir) / "manifest.json"
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(f"unknown manifest schema {payload.get('schema')!r}")
+    return payload
+
+
+def _cell_record(cell: SweepCell, report) -> dict[str, Any]:
+    result = {}
+    for name in _RESULT_FIELDS:
+        value = getattr(report, name)
+        result[name] = None if value is None else json.loads(json.dumps(value))
+    return {
+        "schema": CELL_SCHEMA,
+        "cell_id": cell.cell_id,
+        "cell": cell.axes(),
+        "result": result,
+    }
+
+
+def _run_cell_inline(cell: SweepCell):
+    from repro.api import Engine
+
+    engine = Engine(cell.solver_config())
+    return engine.solve(cell.build_instance(), seed=cell.seed)
+
+
+def _run_group_process(
+    cells: list[SweepCell], workers: Optional[int]
+) -> list[Any]:
+    from repro.api import Engine
+    from repro.serve.session import SolveRequest
+
+    config = cells[0].solver_config().replace(
+        executor="process", shard_workers=workers
+    )
+    engine = Engine(config)
+    instances = [cell.build_instance() for cell in cells]
+    requests = [
+        SolveRequest(epsilon=cell.epsilon, seed=cell.seed, warm=False)
+        for cell in cells
+    ]
+    return engine.batch(instances, requests, prime=False, executor="process")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    out_dir: Path | str,
+    *,
+    executor: str = "inline",
+    workers: Optional[int] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> SweepRunResult:
+    """Execute (or resume) ``spec`` under ``out_dir``.
+
+    ``executor`` is ``"inline"`` (each cell solved in-process through
+    its own :class:`~repro.api.Engine`) or ``"process"`` (cells
+    grouped by solver config and fanned out through the shard fleet).
+    Re-invoking on a directory that already holds a *different* spec's
+    manifest raises rather than silently mixing grids.
+    """
+    if executor not in ("inline", "process"):
+        raise ValueError(
+            f"executor must be 'inline' or 'process', got {executor!r}"
+        )
+    out = Path(out_dir)
+    cells_dir = out / "cells"
+    cells_dir.mkdir(parents=True, exist_ok=True)
+    cells = spec.expand()
+
+    manifest_path = out / "manifest.json"
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "spec": spec.to_dict(),
+        "cell_ids": [cell.cell_id for cell in cells],
+    }
+    if manifest_path.exists():
+        existing = load_manifest(out)
+        if existing["spec"] != manifest["spec"]:
+            raise ValueError(
+                f"{manifest_path} already holds a different spec "
+                f"({existing['spec'].get('name')!r}); refusing to mix grids"
+            )
+    else:
+        _atomic_write(manifest_path, _dump(manifest))
+
+    say = echo or (lambda _msg: None)
+    pending = [c for c in cells if not record_path(out, c.cell_id).exists()]
+    skipped = len(cells) - len(pending)
+    if skipped:
+        say(f"resume: {skipped}/{len(cells)} cells already recorded")
+
+    def finish(cell: SweepCell, report, seconds: float, mode: str) -> None:
+        _atomic_write(
+            record_path(out, cell.cell_id), _dump(_cell_record(cell, report))
+        )
+        with (out / "timings.jsonl").open("a") as fh:
+            fh.write(json.dumps({
+                "cell_id": cell.cell_id, "seconds": seconds, "executor": mode,
+            }) + "\n")
+
+    if executor == "inline":
+        for cell in pending:
+            t0 = time.perf_counter()
+            report = _run_cell_inline(cell)
+            finish(cell, report, time.perf_counter() - t0, "inline")
+            say(f"ran {cell.cell_id} ({cell.family}, n={cell.n})")
+    else:
+        groups: dict[tuple, list[SweepCell]] = {}
+        for cell in pending:
+            groups.setdefault(cell.config, []).append(cell)
+        for config, group in groups.items():
+            t0 = time.perf_counter()
+            reports = _run_group_process(group, workers)
+            seconds = time.perf_counter() - t0
+            for cell, report in zip(group, reports):
+                finish(cell, report, seconds / len(group), "process")
+            say(f"ran {len(group)} cells for config {dict(config)!r}")
+
+    return SweepRunResult(
+        out_dir=out,
+        total_cells=len(cells),
+        ran=len(pending),
+        skipped=skipped,
+    )

@@ -15,7 +15,13 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
-from benchmarks.check_bench_floors import CHECKS, main, run_checks
+from benchmarks.bench_trajectory import build_bars, build_trajectory
+from benchmarks.check_bench_floors import (
+    CHECKS,
+    diff_against_trajectory,
+    main,
+    run_checks,
+)
 
 
 def _passing_payloads() -> dict[str, dict]:
@@ -61,6 +67,11 @@ def _passing_payloads() -> dict[str, dict]:
 def _write_tree(root: Path, payloads: dict[str, dict]) -> None:
     for name, payload in payloads.items():
         (root / name).write_text(json.dumps(payload))
+    # A trajectory consistent with whatever the tree holds, exactly as
+    # benchmarks/bench_trajectory.py would regenerate it.
+    (root / "BENCH_trajectory.json").write_text(
+        json.dumps(build_trajectory(root, missing_ok=True))
+    )
 
 
 def test_checks_cover_every_committed_payload():
@@ -239,3 +250,146 @@ def test_substrate_parity_flag_required(tmp_path):
     _write_tree(tmp_path, payloads)
     failures = run_checks(tmp_path)
     assert failures == ["BENCH_mpc_substrate.json: parity_checked is not true"]
+
+
+# ----------------------------------------------------------------------
+# Trajectory gate: BENCH_trajectory.json consistency + --diff mode
+# ----------------------------------------------------------------------
+
+
+def test_trajectory_missing_fails(tmp_path):
+    _write_tree(tmp_path, _passing_payloads())
+    (tmp_path / "BENCH_trajectory.json").unlink()
+    failures = run_checks(tmp_path)
+    assert failures == ["BENCH_trajectory.json: missing from the repo root"]
+
+
+def test_trajectory_injected_regression_fails(tmp_path):
+    # Edit a bar value inside the trajectory only: the payloads still
+    # pass their floors, but the index now lies — that's a failure.
+    _write_tree(tmp_path, _passing_payloads())
+    trajectory = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+    trajectory["bars"]["serving/session_speedup_over_cold"]["value"] = 1.2
+    (tmp_path / "BENCH_trajectory.json").write_text(json.dumps(trajectory))
+    failures = run_checks(tmp_path)
+    assert failures == [
+        f for f in failures
+        if "serving/session_speedup_over_cold" in f and "disagrees" in f
+    ]
+    assert failures
+
+
+def test_trajectory_stale_after_payload_regen_fails(tmp_path):
+    # Regenerate a payload with a new number but forget the trajectory.
+    payloads = _passing_payloads()
+    _write_tree(tmp_path, payloads)
+    payloads["BENCH_kernels.json"]["largest_instance_speedup"] = 6.0
+    (tmp_path / "BENCH_kernels.json").write_text(
+        json.dumps(payloads["BENCH_kernels.json"])
+    )
+    failures = run_checks(tmp_path)
+    assert any(
+        "kernels/largest_instance_speedup" in f and "disagrees" in f
+        for f in failures
+    )
+
+
+def test_trajectory_orphan_bar_fails(tmp_path):
+    _write_tree(tmp_path, _passing_payloads())
+    trajectory = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+    trajectory["bars"]["made_up/bar"] = {
+        "file": "BENCH_made_up.json", "value": 1.0, "floor": 1.0,
+        "applicable": True, "met": True,
+    }
+    (tmp_path / "BENCH_trajectory.json").write_text(json.dumps(trajectory))
+    failures = run_checks(tmp_path)
+    assert failures == ["BENCH_trajectory.json: bar 'made_up/bar' has no source payload"]
+
+
+def test_trajectory_unknown_schema_fails(tmp_path):
+    _write_tree(tmp_path, _passing_payloads())
+    trajectory = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+    trajectory["schema"] = "repro.bench/trajectory/v999"
+    (tmp_path / "BENCH_trajectory.json").write_text(json.dumps(trajectory))
+    failures = run_checks(tmp_path)
+    assert failures == [
+        "BENCH_trajectory.json: unknown schema 'repro.bench/trajectory/v999'"
+    ]
+
+
+def test_committed_trajectory_indexes_every_bar():
+    # The committed trajectory must cover every guarded payload's bars.
+    repo = Path(__file__).resolve().parents[1]
+    trajectory = json.loads((repo / "BENCH_trajectory.json").read_text())
+    bars = trajectory["bars"]
+    for expected in (
+        "serving/session_speedup_over_cold",
+        "dynamic/scenarios.flash_crowd.warm_speedup_over_cold",
+        "kernels/largest_instance_speedup",
+        "mpc_substrate/columnar_beats_object",
+        "mpc_adaptive/frontier_ratio",
+        "sharding/determinism_bit_identical",
+        "sharding/scaling_bar.speedup_4_workers",
+        "service/restart_warmth.restart_speedup",
+        "e5_mpc_rounds/allocations_match",
+    ):
+        assert expected in bars, expected
+    guarded = {name for name, _, _ in CHECKS} | {"BENCH_e5_mpc_rounds.json"}
+    assert {entry["file"] for entry in bars.values()} == guarded
+    rebuilt, missing = build_bars(repo)
+    assert missing == []
+    assert rebuilt == bars
+
+
+def test_diff_fresh_regression_fails(tmp_path):
+    committed_root = tmp_path / "committed"
+    fresh_root = tmp_path / "fresh"
+    committed_root.mkdir()
+    fresh_root.mkdir()
+    _write_tree(committed_root, _passing_payloads())
+    fresh = _passing_payloads()["BENCH_serving.json"]
+    fresh["session_speedup_over_cold"] = 0.9
+    (fresh_root / "BENCH_serving.json").write_text(json.dumps(fresh))
+    failures, notes = diff_against_trajectory(fresh_root, committed_root)
+    assert failures == [
+        "serving/session_speedup_over_cold: fresh value 0.9 "
+        "below committed floor 2.0"
+    ]
+    assert any("not in fresh run" in n for n in notes)
+    assert main(committed_root, argv=["--diff", str(fresh_root)]) == 1
+
+
+def test_diff_fresh_pass_and_empty_fresh_fails(tmp_path):
+    committed_root = tmp_path / "committed"
+    fresh_root = tmp_path / "fresh"
+    committed_root.mkdir()
+    fresh_root.mkdir()
+    _write_tree(committed_root, _passing_payloads())
+    (fresh_root / "BENCH_serving.json").write_text(
+        json.dumps(_passing_payloads()["BENCH_serving.json"])
+    )
+    failures, _ = diff_against_trajectory(fresh_root, committed_root)
+    assert failures == []
+    assert main(committed_root, argv=["--diff", str(fresh_root)]) == 0
+    # A fresh dir with nothing to compare must not vacuously pass.
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    failures, _ = diff_against_trajectory(empty, committed_root)
+    assert any("no fresh bars" in f for f in failures)
+
+
+def test_diff_not_applicable_fresh_bar_is_skipped(tmp_path):
+    committed_root = tmp_path / "committed"
+    fresh_root = tmp_path / "fresh"
+    committed_root.mkdir()
+    fresh_root.mkdir()
+    _write_tree(committed_root, _passing_payloads())
+    fresh = _passing_payloads()["BENCH_sharding.json"]
+    fresh["scaling_bar"] = {
+        "applicable": False, "met": None,
+        "speedup_4_workers": 0.8, "threshold": 2.5,
+    }
+    (fresh_root / "BENCH_sharding.json").write_text(json.dumps(fresh))
+    failures, notes = diff_against_trajectory(fresh_root, committed_root)
+    assert failures == []
+    assert any("not applicable on this host" in n for n in notes)

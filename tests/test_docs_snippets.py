@@ -31,7 +31,10 @@ def python_blocks(page: Path) -> list[str]:
 
 def test_documentation_pages_exist():
     names = {p.name for p in PAGES}
-    assert {"architecture.md", "api.md", "tutorial_dynamic.md", "README.md"} <= names
+    assert {
+        "architecture.md", "api.md", "tutorial_dynamic.md",
+        "experiments.md", "README.md",
+    } <= names
 
 
 @pytest.mark.parametrize("page", PAGES, ids=lambda p: p.name)

@@ -54,13 +54,33 @@ def test_cli_list_and_run(capsys, tmp_path, monkeypatch):
 
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "e1" in out and "claim:" in out
+    assert "e1" in out and "claim" in out
+
+    # --list prints the id/title/claim table, one row per experiment.
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for column in ("id", "title", "claim"):
+        assert column in out
+    for exp_id in ("e0", "e5", "e12"):
+        assert exp_id in out
 
     import repro.experiments.harness as harness
 
     monkeypatch.setattr(harness, "default_results_dir", lambda: tmp_path)
     assert main(["e9", "--scale", "smoke"]) == 0
+    assert main(["--exp", "e9", "--scale", "smoke"]) == 0
     assert main(["nope"]) == 2
+    assert main([]) == 2
+    assert main(["e9", "--exp", "e1"]) == 2
+
+
+def test_cli_unknown_exp_names_valid_ids(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--exp", "zz"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'zz'" in err
+    assert "e0" in err and "e12" in err
 
 
 def test_e1_claim_shape_smoke():

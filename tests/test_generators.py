@@ -15,17 +15,23 @@ from repro.graphs.capacities import (
 )
 from repro.graphs.generators import (
     FAMILY_BUILDERS,
+    POWER_LAW_EXPONENT_RANGE,
+    SIZED_FAMILIES,
+    adversarial_rounds_instance,
     adwords_instance,
     complete_bipartite_instance,
     cycle_instance,
     double_star_instance,
     erdos_renyi_instance,
     grid_instance,
+    heavy_tailed_instance,
     load_balancing_instance,
     planted_dense_core_instance,
     power_law_instance,
     random_bipartite_forest_edges,
     regular_instance,
+    sized_instance,
+    skew_frontier_instance,
     star_instance,
     union_of_forests,
 )
@@ -190,6 +196,8 @@ def test_family_registry_builders_all_runnable():
         "load_balancing": dict(n_clients=12, n_servers=4, seed=0),
         "adwords": dict(n_impressions=15, n_advertisers=5, seed=0),
         "skew_frontier": dict(n_left=10, seed=0),
+        "heavy_tailed": dict(n_left=20, seed=0),
+        "adversarial_rounds": dict(n_left=16, seed=0),
     }
     assert set(kwargs) == set(FAMILY_BUILDERS)
     for name, builder in FAMILY_BUILDERS.items():
@@ -233,3 +241,82 @@ def test_validate_capacities_shape_and_range():
         validate_capacities(inst.graph, np.ones(3, dtype=np.int64))
     with pytest.raises(ValueError):
         validate_capacities(inst.graph, np.zeros(5, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Workload zoo: degenerate parameters and determinism
+# ----------------------------------------------------------------------
+
+def test_power_law_exponent_clamped_at_both_edges():
+    lo, hi = POWER_LAW_EXPONENT_RANGE
+    below = power_law_instance(30, 10, exponent=0.2, seed=0)
+    assert below.metadata["exponent"] == lo
+    assert below.metadata["requested_exponent"] == 0.2
+    above = power_law_instance(30, 10, exponent=50.0, seed=0)
+    assert above.metadata["exponent"] == hi
+    assert above.metadata["requested_exponent"] == 50.0
+    # Clamped runs are exactly the edge-value runs, not new families.
+    edge = power_law_instance(30, 10, exponent=lo, seed=0)
+    assert below.graph.left_indptr.tobytes() == edge.graph.left_indptr.tobytes()
+    assert below.graph.left_adj.tobytes() == edge.graph.left_adj.tobytes()
+    inside = power_law_instance(30, 10, exponent=2.5, seed=0)
+    assert inside.metadata["exponent"] == 2.5
+    below.graph.validate()
+    above.graph.validate()
+
+
+def test_skew_frontier_degree_one_is_pure_hub():
+    inst = skew_frontier_instance(12, left_degree=1, seed=0)
+    inst.graph.validate()
+    assert np.all(inst.graph.left_degrees == 1)
+    # Every edge lands on the hub (right vertex 0).
+    assert np.all(inst.graph.edge_v == 0)
+    validate_capacities(inst.graph, inst.capacities)
+
+
+def test_union_of_forests_zero_forests_is_edgeless():
+    inst = union_of_forests(8, 6, 0, seed=0)
+    inst.graph.validate()
+    assert inst.graph.n_edges == 0
+    assert inst.arboricity_upper_bound >= 1
+    validate_capacities(inst.graph, inst.capacities)
+
+
+def test_heavy_tailed_capacities_are_heavy_tailed():
+    inst = heavy_tailed_instance(64, seed=0)
+    inst.graph.validate()
+    validate_capacities(inst.graph, inst.capacities)
+    caps = np.sort(inst.capacities)[::-1]
+    # Head dominates: the largest server holds a big multiple of the median.
+    assert caps[0] >= 4 * np.median(caps)
+    assert inst.metadata["family"] == "heavy_tailed"
+
+
+def test_adversarial_rounds_structure():
+    inst = adversarial_rounds_instance(32, seed=0)
+    inst.graph.validate()
+    validate_capacities(inst.graph, inst.capacities)
+    b = inst.metadata["core_right"]
+    assert b == max(2, 32 // 8)
+    assert np.all(inst.capacities == 1)
+    # Every client touches the whole core plus one mid and one fringe.
+    assert np.all(inst.graph.left_degrees == b + 2)
+
+
+def test_sized_families_cover_zoo_and_reject_unknown():
+    assert {"heavy_tailed", "adversarial_rounds", "slow_spread",
+            "skew_frontier"} <= set(SIZED_FAMILIES)
+    with pytest.raises(KeyError, match="unknown family"):
+        sized_instance("nope", 32)
+
+
+def test_sized_zoo_seed_determinism_csr_bytes():
+    # Same seed -> bit-identical CSR arrays and capacities; the sweep
+    # subsystem's cell records depend on this.
+    for family in sorted(SIZED_FAMILIES):
+        a = sized_instance(family, 48, seed=7)
+        b = sized_instance(family, 48, seed=7)
+        assert a.graph.left_indptr.tobytes() == b.graph.left_indptr.tobytes(), family
+        assert a.graph.left_adj.tobytes() == b.graph.left_adj.tobytes(), family
+        assert a.capacities.tobytes() == b.capacities.tobytes(), family
+        a.graph.validate()

@@ -1,0 +1,391 @@
+"""The sweep orchestration subsystem (repro.sweeps).
+
+Covers the acceptance contract: grid expansion and content-hash cell
+id stability, resumable running (including a SIGKILL mid-grid followed
+by a resume that must produce byte-identical cell records), the
+process-executor parity with inline runs, the extract/plot stages, and
+the adversarial round-maximizer family exceeding every other sized
+family in a sweep-produced table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.graphs.generators import SIZED_FAMILIES
+from repro.sweeps import (
+    SweepCell,
+    SweepSpec,
+    ascii_chart,
+    comparison_table,
+    load_manifest,
+    load_records,
+    plot_payload,
+    record_path,
+    run_sweep,
+)
+from repro.sweeps.extract import flatten_record
+from repro.sweeps.spec import CELL_SCHEMA
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _small_spec(**overrides) -> SweepSpec:
+    base = dict(
+        name="unit",
+        families=("star", "union_of_forests"),
+        sizes=(16, 32),
+        epsilons=(0.2,),
+        seeds=(0,),
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# Spec validation and grid expansion
+# ----------------------------------------------------------------------
+
+def test_expand_is_the_full_product_with_unique_ids():
+    spec = _small_spec(
+        epsilons=(0.1, 0.2), seeds=(0, 1),
+        config_axes={"backend": (None, "optimized")},
+    )
+    cells = spec.expand()
+    assert len(cells) == spec.n_cells == 2 * 2 * 2 * 2 * 2
+    assert len({c.cell_id for c in cells}) == len(cells)
+    assert {c.family for c in cells} == {"star", "union_of_forests"}
+    assert all(dict(c.config)["backend"] in (None, "optimized") for c in cells)
+
+
+def test_spec_rejects_unknown_family_size_and_config_field():
+    with pytest.raises(ValueError, match="unknown families"):
+        _small_spec(families=("nope",))
+    with pytest.raises(ValueError, match="sizes must be"):
+        _small_spec(sizes=(0,))
+    with pytest.raises(ValueError, match="not a SolverConfig field"):
+        _small_spec(config_axes={"not_a_field": (1,)})
+    with pytest.raises(ValueError, match="instance axis"):
+        _small_spec(config_axes={"epsilon": (0.1,)})
+    with pytest.raises(ValueError, match="instance axis"):
+        _small_spec(base_config={"seed": 3})
+
+
+def test_expand_fails_fast_on_invalid_config_combination():
+    # Invalid SolverConfig values surface at expansion, before any run.
+    spec = _small_spec(config_axes={"backend": ("definitely_not_a_backend",)})
+    with pytest.raises(ValueError):
+        spec.expand()
+
+
+def test_cell_id_is_content_addressed_and_name_independent():
+    a = _small_spec(name="first").expand()
+    b = _small_spec(name="renamed").expand()
+    assert [c.cell_id for c in a] == [c.cell_id for c in b]
+
+    cell = a[0]
+    round_tripped = SweepCell.from_dict(json.loads(json.dumps(cell.to_dict())))
+    assert round_tripped == cell
+    assert round_tripped.cell_id == cell.cell_id
+
+    tampered = dict(cell.to_dict())
+    tampered["cell_id"] = "0" * 16
+    with pytest.raises(ValueError, match="cell_id mismatch"):
+        SweepCell.from_dict(tampered)
+
+
+def test_spec_json_round_trip():
+    spec = _small_spec(
+        config_axes={"backend": (None, "optimized")}, base_config={"repair": True}
+    )
+    assert SweepSpec.from_json(spec.to_json()) == spec
+
+
+# ----------------------------------------------------------------------
+# Resumable runner
+# ----------------------------------------------------------------------
+
+def test_run_sweep_writes_records_and_resumes(tmp_path):
+    spec = _small_spec()
+    first = run_sweep(spec, tmp_path)
+    assert (first.ran, first.skipped) == (4, 0) and first.complete
+
+    manifest = load_manifest(tmp_path)
+    assert manifest["spec"] == spec.to_dict()
+    before = {
+        cid: record_path(tmp_path, cid).read_bytes()
+        for cid in manifest["cell_ids"]
+    }
+
+    second = run_sweep(spec, tmp_path)
+    assert (second.ran, second.skipped) == (0, 4)
+    after = {
+        cid: record_path(tmp_path, cid).read_bytes()
+        for cid in manifest["cell_ids"]
+    }
+    assert after == before
+
+
+def test_run_sweep_refuses_to_mix_grids(tmp_path):
+    run_sweep(_small_spec(), tmp_path)
+    other = _small_spec(name="other", sizes=(16,))
+    with pytest.raises(ValueError, match="refusing to mix grids"):
+        run_sweep(other, tmp_path)
+
+
+def test_records_hold_only_deterministic_fields(tmp_path):
+    run_sweep(_small_spec(sizes=(16,)), tmp_path)
+    for record in load_records(tmp_path):
+        assert record["schema"] == CELL_SCHEMA
+        assert set(record) == {"schema", "cell_id", "cell", "result"}
+        assert set(record["result"]) == {
+            "size", "match_weight", "local_rounds", "mpc_rounds",
+            "certified", "guarantee",
+        }
+        assert record["result"]["certified"] is True
+
+
+def test_process_executor_records_bit_identical_to_inline(tmp_path):
+    spec = _small_spec(config_axes={"backend": (None, "optimized")})
+    inline_dir = tmp_path / "inline"
+    process_dir = tmp_path / "process"
+    run_sweep(spec, inline_dir, executor="inline")
+    run_sweep(spec, process_dir, executor="process", workers=2)
+    ids = load_manifest(inline_dir)["cell_ids"]
+    for cid in ids:
+        assert (
+            record_path(inline_dir, cid).read_bytes()
+            == record_path(process_dir, cid).read_bytes()
+        ), cid
+
+
+def test_sigkill_mid_grid_then_resume_is_byte_identical(tmp_path):
+    # An 8-cell grid at sizes where each cell takes a noticeable
+    # fraction of a second, run through the real CLI in a subprocess,
+    # SIGKILLed after the first record lands, then resumed.  The
+    # records must match an uninterrupted reference run byte-for-byte.
+    spec = SweepSpec(
+        name="kill",
+        families=("slow_spread", "adversarial_rounds"),
+        sizes=(192, 288),
+        epsilons=(0.2,),
+        seeds=(0, 1),
+    )
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json())
+
+    reference = tmp_path / "reference"
+    run_sweep(spec, reference)
+    ids = load_manifest(reference)["cell_ids"]
+    assert len(ids) == 8
+
+    killed = tmp_path / "killed"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "sweep", "run",
+            "--spec", str(spec_path), "--out", str(killed),
+        ],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        cells_dir = killed / "cells"
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if cells_dir.is_dir() and any(cells_dir.glob("*.json")):
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("subprocess produced no record within 60s")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    done = {p.stem for p in cells_dir.glob("*.json")}
+    assert done, "kill landed before any record"
+    assert done < set(ids), "kill landed after the grid finished"
+
+    resumed = run_sweep(spec, killed)
+    assert resumed.skipped == len(done)
+    assert resumed.ran == len(ids) - len(done)
+    for cid in ids:
+        assert (
+            record_path(killed, cid).read_bytes()
+            == record_path(reference, cid).read_bytes()
+        ), cid
+
+
+# ----------------------------------------------------------------------
+# Extract + plot stages
+# ----------------------------------------------------------------------
+
+def _synthetic_records() -> list[dict]:
+    rows = []
+    for family, n, rounds in (
+        ("star", 16, 1), ("star", 32, 2),
+        ("slow_spread", 16, 7), ("slow_spread", 32, 9),
+    ):
+        cell = SweepCell(family=family, n=n, epsilon=0.2, seed=0)
+        rows.append({
+            "schema": CELL_SCHEMA,
+            "cell_id": cell.cell_id,
+            "cell": cell.axes(),
+            "result": {
+                "size": n, "match_weight": float(n), "local_rounds": rounds,
+                "mpc_rounds": None, "certified": True, "guarantee": 2.2,
+            },
+        })
+    return rows
+
+
+def test_comparison_table_pivots_and_aggregates():
+    records = _synthetic_records()
+    table = comparison_table(records, rows="family", cols="n",
+                             value="local_rounds")
+    by_family = {row["family"]: row for row in table.rows}
+    assert by_family["star"] == {"family": "star", "n=16": 1, "n=32": 2}
+    assert by_family["slow_spread"] == {
+        "family": "slow_spread", "n=16": 7, "n=32": 9,
+    }
+    # Aggregation across a collapsed axis: both sizes in one cell.
+    collapsed = comparison_table(records, rows="family", cols="epsilon",
+                                 value="local_rounds", agg="max")
+    by_family = {row["family"]: row for row in collapsed.rows}
+    assert by_family["slow_spread"]["epsilon=0.2"] == 9
+
+
+def test_comparison_table_marks_missing_cells():
+    records = _synthetic_records()[:3]  # drop (slow_spread, 32)
+    table = comparison_table(records, rows="family", cols="n",
+                             value="local_rounds")
+    by_family = {row["family"]: row for row in table.rows}
+    assert by_family["slow_spread"]["n=32"] == "—"
+
+
+def test_extract_unknown_axis_names_the_valid_ones():
+    with pytest.raises(KeyError, match="family"):
+        comparison_table(_synthetic_records(), rows="nope", cols="n")
+
+
+def test_flatten_record_merges_axes_config_and_result():
+    record = _synthetic_records()[0]
+    record["cell"]["config"] = {"backend": "numpy"}
+    flat = flatten_record(record)
+    assert flat["family"] == "star"
+    assert flat["backend"] == "numpy"
+    assert flat["local_rounds"] == 1
+
+
+def test_plot_payload_and_ascii_chart():
+    payload = plot_payload(_synthetic_records(), x="n", y="local_rounds",
+                           group="family")
+    assert payload["series"]["star"] == [[16.0, 1.0], [32.0, 2.0]]
+    assert payload["series"]["slow_spread"] == [[16.0, 7.0], [32.0, 9.0]]
+    chart = ascii_chart(payload)
+    assert "local_rounds vs n" in chart
+    assert "slow_spread" in chart and "star" in chart
+    with pytest.raises(ValueError, match="unknown plot schema"):
+        ascii_chart({"schema": "nope", "series": {}})
+
+
+# ----------------------------------------------------------------------
+# The adversarial round-maximizer, through a real sweep
+# ----------------------------------------------------------------------
+
+def test_adversarial_rounds_exceeds_every_family_at_equal_n(tmp_path):
+    spec = SweepSpec(
+        name="round-maximizer",
+        families=tuple(sorted(SIZED_FAMILIES)),
+        sizes=(64,),
+        epsilons=(0.2,),
+        seeds=(0,),
+    )
+    run_sweep(spec, tmp_path)
+    table = comparison_table(load_records(tmp_path), rows="family", cols="n",
+                             value="local_rounds")
+    rounds = {row["family"]: row["n=64"] for row in table.rows}
+    adversarial = rounds.pop("adversarial_rounds")
+    assert rounds, "sweep produced no other families"
+    for family, value in rounds.items():
+        assert adversarial > value, (
+            f"adversarial_rounds ({adversarial}) does not exceed "
+            f"{family} ({value})"
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_sweep_cells_run_extract_plot(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    spec = _small_spec()
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(spec.to_json())
+    out = tmp_path / "out"
+
+    assert cli_main(["sweep", "cells", "--spec", str(spec_path)]) == 0
+    listing = capsys.readouterr().out
+    for cell in spec.expand():
+        assert cell.cell_id in listing
+
+    assert cli_main([
+        "sweep", "run", "--spec", str(spec_path), "--out", str(out),
+    ]) == 0
+    assert "4 cells (4 ran, 0 already recorded)" in capsys.readouterr().out
+
+    assert cli_main(["sweep", "extract", "--out", str(out)]) == 0
+    assert "star" in capsys.readouterr().out
+
+    json_out = tmp_path / "plot.json"
+    assert cli_main([
+        "sweep", "plot", "--out", str(out), "--json-out", str(json_out),
+    ]) == 0
+    payload = json.loads(json_out.read_text())
+    assert payload["schema"] == "repro.sweeps/plot/v1"
+    assert set(payload["series"]) == {"star", "union_of_forests"}
+
+
+def test_cli_sweep_bad_inputs_exit_2(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    missing = tmp_path / "missing.json"
+    assert cli_main([
+        "sweep", "run", "--spec", str(missing), "--out", str(tmp_path / "x"),
+    ]) == 2
+    assert "spec file not found" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert cli_main([
+        "sweep", "cells", "--spec", str(bad),
+    ]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+    malformed = tmp_path / "malformed.json"
+    malformed.write_text(json.dumps({
+        "schema": "repro.sweeps/SweepSpec/v1",
+        "name": "x", "families": ["nope"], "sizes": [8],
+    }))
+    assert cli_main([
+        "sweep", "cells", "--spec", str(malformed),
+    ]) == 2
+    assert "malformed sweep spec" in capsys.readouterr().err
+
+    assert cli_main([
+        "sweep", "extract", "--out", str(tmp_path / "never_ran"),
+    ]) == 2
+    assert "extract failed" in capsys.readouterr().err
